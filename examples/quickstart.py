@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: inject a 'lights off' Write Request into a live connection.
+
+Builds the paper's experiment-1 world — a lightbulb, a smartphone Central
+and an attacker on the vertices of a 2 m equilateral triangle — waits for
+the connection, then injects a forged ATT Write Request that turns the
+bulb off while both victims keep believing the connection is healthy.
+
+Run:
+    python examples/quickstart.py [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import Attacker, Lightbulb, Medium, Simulator, Smartphone, Topology
+from repro.core.scenarios import IllegitimateUseScenario
+from repro.devices.lightbulb import UUID_BULB_CONTROL
+
+
+def main(seed: int = 7) -> int:
+    sim = Simulator(seed=seed)
+    topology = Topology.equilateral_triangle(("bulb", "phone", "attacker"),
+                                             edge_m=2.0)
+    medium = Medium(sim, topology)
+
+    bulb = Lightbulb(sim, medium, "bulb")
+    phone = Smartphone(sim, medium, "phone", interval=75)
+    attacker = Attacker(sim, medium, "attacker")
+
+    # The attacker camps on an advertising channel *before* the connection
+    # exists, captures CONNECT_REQ, and follows the hop sequence.
+    attacker.sniff_new_connections()
+    bulb.power_on()
+    phone.connect_to(bulb.address)
+    sim.run(until_us=1_500_000)
+
+    if not attacker.synchronized:
+        print("attacker failed to synchronise")
+        return 1
+    print(f"[{sim.now/1e6:.3f}s] attacker synchronised: {attacker.connection}")
+    print(f"bulb before attack: {bulb.describe()}")
+
+    handle = bulb.gatt.find_characteristic(UUID_BULB_CONTROL).value_handle
+    scenario = IllegitimateUseScenario(attacker)
+    results = []
+    scenario.inject_write(handle, Lightbulb.power_payload(False, pad_to=5),
+                          on_done=results.append)
+    sim.run(until_us=60_000_000)
+
+    result = results[0]
+    print(f"injection outcome: {result.report.outcome.value} "
+          f"after {result.report.attempts} attempt(s)")
+    print(f"bulb after attack:  {bulb.describe()}")
+    print(f"victims still connected: phone={phone.is_connected} "
+          f"bulb={bulb.ll.is_connected}")
+    return 0 if result.success and not bulb.is_on else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(int(sys.argv[1]) if len(sys.argv) > 1 else 7))

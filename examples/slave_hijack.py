@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Scenario B demo: terminate the real Slave and impersonate it.
+
+A smartphone is connected to a keyfob.  The attacker injects a single
+``LL_TERMINATE_IND``: the keyfob believes the phone hung up and leaves,
+while the phone keeps polling — and from then on talks to the attacker's
+fake Slave, whose Device Name characteristic reads "Hacked" (the paper's
+§VI-B demonstration).
+
+Run:
+    python examples/slave_hijack.py [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import Attacker, Keyfob, Medium, Simulator, Smartphone, Topology
+from repro.core.scenarios import SlaveHijackScenario
+from repro.core.scenarios.scenario_b import hacked_gatt_server
+from repro.host.att.pdus import ReadByTypeRsp
+from repro.host.gatt.uuids import UUID_DEVICE_NAME
+
+
+def main(seed: int = 3) -> int:
+    sim = Simulator(seed=seed)
+    topology = Topology.equilateral_triangle(("keyfob", "phone", "attacker"),
+                                             edge_m=2.0)
+    medium = Medium(sim, topology)
+
+    keyfob = Keyfob(sim, medium, "keyfob")
+    keyfob.ll.readvertise_on_disconnect = False  # keep the demo legible
+    phone = Smartphone(sim, medium, "phone", interval=36)
+    attacker = Attacker(sim, medium, "attacker")
+
+    attacker.sniff_new_connections()
+    keyfob.power_on()
+    phone.connect_to(keyfob.address)
+    sim.run(until_us=1_200_000)
+    if not attacker.synchronized:
+        print("attacker failed to synchronise")
+        return 1
+
+    results = []
+    scenario = SlaveHijackScenario(attacker,
+                                   gatt_server=hacked_gatt_server("Hacked"))
+    scenario.run(on_done=results.append)
+    sim.run(until_us=20_000_000)
+
+    result = results[0]
+    print(f"terminate injected after {result.report.attempts} attempt(s)")
+    print(f"real keyfob connected: {keyfob.ll.is_connected}")
+    print(f"phone still connected: {phone.is_connected} "
+          f"(to the attacker, unknowingly)")
+
+    # The phone reads the Device Name — served by the fake Slave now.
+    names: list[bytes] = []
+
+    def on_name(pdu) -> None:
+        if isinstance(pdu, ReadByTypeRsp):
+            names.append(pdu.records[0][1])
+
+    phone.host.att.read_by_type(UUID_DEVICE_NAME, on_name)
+    sim.run(until_us=25_000_000)
+    print(f"device name as read by the phone: "
+          f"{names[0].decode() if names else '<no answer>'}")
+    return 0 if names and names[0] == b"Hacked" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(int(sys.argv[1]) if len(sys.argv) > 1 else 3))

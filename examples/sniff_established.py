@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Recover the parameters of an *already established* connection.
+
+The attacker arrives late: the CONNECT_REQ happened before it started
+listening, so nothing is known — not even the access address.  Following
+Ryan (2013) / Cauquil (2017) and the paper's §V-C, the sniffer:
+
+1. camps on a data channel and counts candidate access addresses;
+2. recovers CRCInit by running the CRC-24 LFSR backwards;
+3. measures the hop interval from successive visits to the channel;
+4. derives the hop increment from the timing between two channels;
+5. follows the connection and (to prove synchronisation) injects a frame.
+
+Run:
+    python examples/sniff_established.py [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import Attacker, Lightbulb, Medium, Simulator, Smartphone, Topology
+from repro.core.scenarios import IllegitimateUseScenario
+from repro.devices.lightbulb import UUID_BULB_CONTROL
+
+
+def main(seed: int = 9) -> int:
+    sim = Simulator(seed=seed)
+    topology = Topology.equilateral_triangle(("bulb", "phone", "attacker"),
+                                             edge_m=2.0)
+    medium = Medium(sim, topology)
+
+    bulb = Lightbulb(sim, medium, "bulb")
+    phone = Smartphone(sim, medium, "phone", interval=36)
+    attacker = Attacker(sim, medium, "attacker")
+
+    # Connection established with the attacker's radio OFF.
+    bulb.power_on()
+    phone.connect_to(bulb.address)
+    sim.run(until_us=2_000_000)
+    if not phone.is_connected:
+        print("victims failed to connect")
+        return 1
+    true_params = phone.ll.conn.params
+    print(f"ground truth: AA={true_params.access_address:#010x} "
+          f"crc_init={true_params.crc_init:#08x} "
+          f"interval={true_params.interval} hop={true_params.hop_increment}")
+
+    # Late-arriving attacker: full parameter recovery.
+    attacker.recover_established(probe_channel=0)
+    sim.run(until_us=60_000_000)
+    conn = attacker.connection
+    if conn is None or not attacker.synchronized:
+        print("recovery failed")
+        return 1
+    print(f"recovered:    AA={conn.params.access_address:#010x} "
+          f"crc_init={conn.params.crc_init:#08x} "
+          f"interval={conn.params.interval} hop={conn.params.hop_increment}")
+    exact = (
+        conn.params.access_address == true_params.access_address
+        and conn.params.crc_init == true_params.crc_init
+        and conn.params.interval == true_params.interval
+        and conn.params.hop_increment == true_params.hop_increment
+    )
+    print(f"exact match: {exact}")
+
+    # Prove synchronisation end to end: inject through the recovered state.
+    handle = bulb.gatt.find_characteristic(UUID_BULB_CONTROL).value_handle
+    results = []
+    scenario = IllegitimateUseScenario(attacker)
+    scenario.inject_write(handle, Lightbulb.power_payload(False, pad_to=5),
+                          on_done=results.append)
+    sim.run(until_us=120_000_000)
+    result = results[0] if results else None
+    success = bool(result and result.success)
+    print(f"injection through recovered parameters: "
+          f"{'success' if success else 'failed'} "
+          f"({result.report.attempts if result else 0} attempts); "
+          f"bulb is now {'off' if not bulb.is_on else 'on'}")
+    return 0 if exact and success else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(int(sys.argv[1]) if len(sys.argv) > 1 else 9))

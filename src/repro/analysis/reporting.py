@@ -1,0 +1,48 @@
+"""Text rendering of experiment results.
+
+The benchmarks print these tables so a run of ``pytest benchmarks/``
+regenerates the content of each figure panel as rows (configuration value →
+attempt distribution), which EXPERIMENTS.md compares against the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.analysis.stats import box_stats
+
+
+def render_distribution_table(
+    title: str,
+    column: str,
+    samples: Mapping,
+) -> str:
+    """Render per-configuration attempt distributions as an ASCII table.
+
+    Args:
+        title: table caption.
+        column: name of the configuration column (e.g. ``hop interval``).
+        samples: mapping of configuration value → list of attempt counts.
+    """
+    lines = [title, "=" * len(title)]
+    header = (f"{column:>16} | {'n':>3} | {'min':>4} | {'q1':>5} | "
+              f"{'med':>5} | {'q3':>5} | {'max':>4} | {'var':>8}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for key in samples:
+        stats = box_stats(list(samples[key]))
+        lines.append(
+            f"{str(key):>16} | {stats.count:>3} | {stats.minimum:>4.0f} | "
+            f"{stats.q1:>5.1f} | {stats.median:>5.1f} | {stats.q3:>5.1f} | "
+            f"{stats.maximum:>4.0f} | {stats.variance:>8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def render_series(title: str, rows: Sequence[tuple]) -> str:
+    """Render simple key/value result rows."""
+    lines = [title, "=" * len(title)]
+    for row in rows:
+        key, *rest = row
+        lines.append(f"{str(key):>24} : " + "  ".join(str(v) for v in rest))
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Box-plot statistics for attempt distributions (the paper's Figure 9)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Summary statistics of one experiment configuration.
+
+    Mirrors what the paper's box plots display: median, quartiles,
+    whiskers (min/max) and variance.
+    """
+
+    count: int
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+    variance: float
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range."""
+        return self.q3 - self.q1
+
+
+def box_stats(values: list) -> BoxStats:
+    """Compute :class:`BoxStats` over a non-empty sample."""
+    if not values:
+        raise ConfigurationError("cannot summarise an empty sample")
+    arr = np.asarray(values, dtype=float)
+    return BoxStats(
+        count=int(arr.size),
+        minimum=float(arr.min()),
+        q1=float(np.percentile(arr, 25)),
+        median=float(np.median(arr)),
+        q3=float(np.percentile(arr, 75)),
+        maximum=float(arr.max()),
+        mean=float(arr.mean()),
+        variance=float(arr.var(ddof=1)) if arr.size > 1 else 0.0,
+    )

@@ -1,0 +1,188 @@
+"""Command-line interface.
+
+Exposes the reproduction's main entry points without writing a script::
+
+    repro experiment hop --connections 10
+    repro scenario b --device keyfob
+    repro capture --duration 2
+    repro crack
+
+Each subcommand builds a deterministic world from ``--seed``, runs it, and
+prints the same tables the benchmarks produce.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.reporting import render_distribution_table, render_series
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        run_experiment_distance,
+        run_experiment_hop_interval,
+        run_experiment_payload_size,
+        run_experiment_wall,
+    )
+    from repro.experiments.common import attempts_of, success_rate
+
+    runners = {
+        "hop": (run_experiment_hop_interval, "hop interval"),
+        "payload": (run_experiment_payload_size, "PDU size (bytes)"),
+        "distance": (run_experiment_distance, "position"),
+        "wall": (run_experiment_wall, "distance behind wall (m)"),
+    }
+    runner, column = runners[args.which]
+    results = runner(base_seed=args.seed, n_connections=args.connections)
+    samples = {key: attempts_of(trials) for key, trials in results.items()}
+    print(render_distribution_table(
+        f"InjectaBLE sensitivity — {args.which} "
+        f"({args.connections} connections/config, seed {args.seed})",
+        column, samples))
+    worst = min(success_rate(trials) for trials in results.values())
+    print(f"\nworst-case success rate: {worst:.2f}")
+    return 0 if worst == 1.0 else 1
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.experiments.scenarios import DEVICES, SCENARIOS
+
+    scenario_keys = {"a": "A (use feature)", "b": "B (slave hijack)",
+                     "c": "C (master hijack)", "d": "D (MitM)"}
+    device_keys = {"bulb": "lightbulb", "keyfob": "keyfob",
+                   "watch": "smartwatch"}
+    runner = SCENARIOS[scenario_keys[args.which]]
+    device_cls = DEVICES[device_keys[args.device]]
+    ok, attempts = runner(device_cls, args.seed)
+    print(render_series(
+        f"Scenario {args.which.upper()} vs {args.device}",
+        [("outcome", "OK" if ok else "FAILED", f"{attempts} attempt(s)")]))
+    return 0 if ok else 1
+
+
+def _cmd_capture(args: argparse.Namespace) -> int:
+    from repro.analysis.packets import PacketCapture
+    from repro.devices import Lightbulb, Smartphone
+    from repro.sim.medium import Medium
+    from repro.sim.simulator import Simulator
+    from repro.sim.topology import Topology
+
+    sim = Simulator(seed=args.seed)
+    topo = Topology()
+    topo.place("bulb", 0.0, 0.0)
+    topo.place("phone", 2.0, 0.0)
+    medium = Medium(sim, topo)
+    capture = PacketCapture(medium)
+    bulb = Lightbulb(sim, medium, "bulb")
+    phone = Smartphone(sim, medium, "phone", interval=36)
+    bulb.power_on()
+    phone.connect_to(bulb.address)
+    sim.run(until_us=1_000_000)
+    ctrl = bulb.gatt.find_characteristic(0xFF11).value_handle
+    phone.gatt.write(ctrl, Lightbulb.power_payload(False))
+    sim.run(until_us=args.duration * 1_000_000)
+    print(capture.render(limit=args.limit))
+    print(f"\n{len(capture)} frames captured over "
+          f"{args.duration:.1f} s (showing up to {args.limit})")
+    return 0
+
+
+def _cmd_crack(args: argparse.Namespace) -> int:
+    from repro.core.attacker import Attacker
+    from repro.core.cracker import PairingSniffer, SessionCracker
+    from repro.devices import Lightbulb, Smartphone
+    from repro.sim.medium import Medium
+    from repro.sim.simulator import Simulator
+    from repro.sim.topology import Topology
+
+    sim = Simulator(seed=args.seed)
+    topo = Topology.equilateral_triangle(("bulb", "phone", "attacker"))
+    medium = Medium(sim, topo)
+    bulb = Lightbulb(sim, medium, "bulb")
+    phone = Smartphone(sim, medium, "phone", interval=36)
+    attacker = Attacker(sim, medium, "attacker")
+    attacker.sniff_new_connections()
+    bulb.power_on()
+    phone.connect_to(bulb.address)
+    sim.run(until_us=1_200_000)
+    if not attacker.synchronized:
+        print("attacker failed to synchronise", file=sys.stderr)
+        return 1
+    pairing = PairingSniffer(attacker.connection)
+    previous = attacker.sniffer.on_event
+
+    def hook(event):
+        previous(event)
+        pairing.on_event(event)
+
+    attacker.sniffer.on_event = hook
+    phone.host.pair(encrypt=True)
+    sim.run(until_us=4_000_000)
+    cracker = SessionCracker(pairing, max_pin=args.max_pin)
+    ok = cracker.crack()
+    rows = [
+        ("pairing transcript", "complete" if pairing.transcript.complete
+         else "incomplete"),
+        ("TK (PIN)", str(cracker.pin) if ok else "not recovered"),
+        ("STK", cracker.stk.hex() if cracker.stk else "-"),
+        ("LL session key", cracker.session_key.hex()
+         if cracker.session_key else "-"),
+    ]
+    print(render_series("CRACKLE-style passive key recovery", rows))
+    return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="InjectaBLE reproduction: experiments, scenarios, "
+                    "captures and key cracking over the simulated radio.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    experiment = sub.add_parser("experiment",
+                                help="run a Figure 9 sensitivity sweep")
+    experiment.add_argument("which",
+                            choices=("hop", "payload", "distance", "wall"))
+    experiment.add_argument("--connections", type=int, default=10)
+    experiment.add_argument("--seed", type=int, default=1)
+    experiment.set_defaults(func=_cmd_experiment)
+
+    scenario = sub.add_parser("scenario", help="run one attack scenario")
+    scenario.add_argument("which", choices=("a", "b", "c", "d"))
+    scenario.add_argument("--device", choices=("bulb", "keyfob", "watch"),
+                          default="bulb")
+    scenario.add_argument("--seed", type=int, default=1000)
+    scenario.set_defaults(func=_cmd_scenario)
+
+    capture = sub.add_parser("capture",
+                             help="dissect simulated air traffic")
+    capture.add_argument("--seed", type=int, default=7)
+    capture.add_argument("--duration", type=float, default=2.0,
+                         help="simulated seconds")
+    capture.add_argument("--limit", type=int, default=80,
+                         help="max packets to print")
+    capture.set_defaults(func=_cmd_capture)
+
+    crack = sub.add_parser("crack",
+                           help="sniff a pairing and recover the keys")
+    crack.add_argument("--seed", type=int, default=90)
+    crack.add_argument("--max-pin", type=int, default=0,
+                       help="brute-force bound (0 = Just Works only)")
+    crack.set_defaults(func=_cmd_crack)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""InjectaBLE: sniffing, injection, success heuristic and attack scenarios.
+
+This package is the paper's primary contribution:
+
+* :mod:`repro.core.state` — the attacker's mirror of a live connection;
+* :mod:`repro.core.sniffer` — passive synchronisation (new connections via
+  CONNECT_REQ capture, established ones via AA/CRCInit/hop recovery);
+* :mod:`repro.core.heuristic` — the success-detection rule (paper eq. 7);
+* :mod:`repro.core.injection` — the race-winning injector (paper §V);
+* :mod:`repro.core.attacker` — one façade wiring radio, sniffer, injector;
+* :mod:`repro.core.scenarios` — scenarios A-D (paper §VI);
+* :mod:`repro.core.baselines` — BTLEJack / GATTacker / BTLEJuice baselines.
+"""
+
+from repro.core.attacker import Attacker
+from repro.core.cracker import PairingSniffer, SessionCracker, crack_tk
+from repro.core.roles import FakeMaster, FakeSlave
+from repro.core.heuristic import HeuristicInputs, HeuristicVerdict, evaluate_heuristic
+from repro.core.injection import InjectionConfig, InjectionOutcome, InjectionReport, Injector
+from repro.core.sniffer import ConnectionSniffer
+from repro.core.state import SniffedConnection
+
+__all__ = [
+    "Attacker",
+    "FakeMaster",
+    "FakeSlave",
+    "ConnectionSniffer",
+    "HeuristicInputs",
+    "HeuristicVerdict",
+    "InjectionConfig",
+    "InjectionOutcome",
+    "InjectionReport",
+    "Injector",
+    "PairingSniffer",
+    "SessionCracker",
+    "SniffedConnection",
+    "crack_tk",
+]

@@ -1,0 +1,24 @@
+"""State-of-the-art baselines the paper compares against (§II).
+
+* :class:`BtleJackHijack` — Cauquil's jamming-based Master hijack
+  (BTLEJack): jam every Slave response until the legitimate Master gives
+  up, then take its place.  Works on established connections but is
+  "highly invasive and visible" — the benchmark counts its frames on air.
+* :class:`GattackerMitm` — Jasek's GATTacker: advertise a clone of the
+  Peripheral faster than the original so the Central connects to the
+  attacker.  Pre-connection only.
+* :class:`BtleJuiceMitm` — Cauquil's BTLEJuice: connect to the Peripheral
+  first (silencing its advertising), then expose the clone.
+  Pre-connection only.
+"""
+
+from repro.core.baselines.btlejack import BtleJackHijack, BtleJackResult
+from repro.core.baselines.gattacker import BtleJuiceMitm, GattackerMitm, SpoofingResult
+
+__all__ = [
+    "BtleJackHijack",
+    "BtleJackResult",
+    "BtleJuiceMitm",
+    "GattackerMitm",
+    "SpoofingResult",
+]

@@ -1,0 +1,80 @@
+"""Injection success detection (paper §V-D, formula 7).
+
+The attacker cannot observe the legitimate Master frame (it is transmitting
+at that moment) nor the CRC outcome at the Slave.  Both are inferred from
+the Slave's response:
+
+* **timing**: if the injected frame became the new anchor, the Slave's
+  response starts ``T_IFS`` after the *injected* frame's end, within an
+  empirically measured ±5 µs window;
+* **acknowledgement**: if the CRC verified at the Slave, its response
+  carries ``NESN' = (SN_a + 1) mod 2`` (our data was accepted) and
+  ``SN' = NESN_a`` (it transmits the stream position we acknowledged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.utils.units import T_IFS_US
+
+#: Half-width of the empirical response-timing window (paper: ±5 µs).
+TIMING_TOLERANCE_US = 5.0
+
+
+@dataclass(frozen=True)
+class HeuristicInputs:
+    """Observations needed to evaluate formula 7.
+
+    Attributes:
+        t_a: start time of the injected frame's transmission (µs).
+        d_a: duration of the injected frame (µs).
+        sn_a / nesn_a: bits stamped on the injected frame (paper eq. 6).
+        t_s: start time of the Slave's response, ``None`` if no response
+            was observed.
+        sn_s / nesn_s: bits of the Slave's response, ``None`` when the
+            response was absent or undecodable.
+    """
+
+    t_a: float
+    d_a: float
+    sn_a: int
+    nesn_a: int
+    t_s: Optional[float] = None
+    sn_s: Optional[int] = None
+    nesn_s: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class HeuristicVerdict:
+    """Decomposed verdict of the success heuristic.
+
+    Attributes:
+        success: overall formula-7 result.
+        timing_ok: the Slave re-anchored on the injected frame.
+        ack_ok: the Slave's bits acknowledge the injected frame.
+        response_seen: a Slave response was observed at all.
+    """
+
+    success: bool
+    timing_ok: bool
+    ack_ok: bool
+    response_seen: bool
+
+
+def evaluate_heuristic(obs: HeuristicInputs,
+                       tolerance_us: float = TIMING_TOLERANCE_US
+                       ) -> HeuristicVerdict:
+    """Evaluate paper formula 7 on one injection attempt's observations."""
+    if obs.t_s is None:
+        return HeuristicVerdict(False, False, False, False)
+    expected = obs.t_a + obs.d_a + T_IFS_US
+    timing_ok = expected - tolerance_us < obs.t_s < expected + tolerance_us
+    if obs.sn_s is None or obs.nesn_s is None:
+        return HeuristicVerdict(False, timing_ok, False, True)
+    ack_ok = (
+        ((obs.sn_a + 1) % 2 == obs.nesn_s)
+        and (obs.nesn_a == obs.sn_s)
+    )
+    return HeuristicVerdict(timing_ok and ack_ok, timing_ok, ack_ok, True)

@@ -1,0 +1,437 @@
+"""The InjectaBLE injector (paper §V).
+
+Given a synchronised :class:`~repro.core.state.SniffedConnection`, the
+injector races the legitimate Master at each connection event:
+
+1. estimate the Slave's window widening ``w`` with the worst-case 20 ppm
+   Slave SCA assumption (paper eq. 5);
+2. transmit the forged frame at ``t_pred − w + guard`` — as early in the
+   receive window as possible — with SN/NESN per paper eq. 6;
+3. listen for the Slave's response and evaluate the success heuristic
+   (paper eq. 7);
+4. on failure, spend one event passively re-synchronising (fresh anchor
+   and Slave bits), then try again.
+
+The attempt counter reported is the number of *transmissions* performed
+before a success, the quantity Figure 9 plots.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.heuristic import HeuristicInputs, HeuristicVerdict, evaluate_heuristic
+from repro.core.state import SniffedConnection
+from repro.errors import InjectionError, SnifferError
+from repro.ll.pdu.control import (
+    ChannelMapInd,
+    ConnectionUpdateInd,
+    PhyUpdateInd,
+    decode_control_pdu,
+)
+from repro.ll.pdu.data import LLID, DataPdu
+from repro.ll.pdu.frame import compute_crc, verify_crc
+from repro.phy.signal import RadioFrame
+from repro.sim.events import Event
+from repro.sim.simulator import Simulator
+from repro.sim.transceiver import Transceiver
+from repro.utils.units import T_IFS_US
+
+#: Margin added around resync listening windows, µs.
+_RESYNC_MARGIN_US = 300.0
+#: How long after the event's expected traffic the resync window stays open.
+_RESYNC_TAIL_US = 700.0
+
+
+@dataclass(frozen=True)
+class InjectionConfig:
+    """Tunable parameters of the injection strategy.
+
+    Attributes:
+        guard_us: offset after the estimated window opening at which the
+            injected frame starts (small but positive, so the frame lands
+            inside the window even if the estimate is slightly early).
+        slave_sca_assumption_ppm: Slave SCA assumed in the widening
+            estimate; 20 ppm is the worst case from the attacker's
+            perspective (paper §V-C).
+        max_attempts: give up after this many transmissions.
+        resync_between_attempts: spend one passive event after each failed
+            attempt to refresh the anchor and the Slave's SN/NESN.
+        response_wait_us: how long after the injected frame's end to wait
+            for the Slave's response before declaring the attempt failed.
+        max_silent_events: consecutive empty resync events before the
+            connection is declared lost.
+    """
+
+    guard_us: float = 3.0
+    slave_sca_assumption_ppm: float = 20.0
+    max_attempts: int = 200
+    resync_between_attempts: bool = True
+    response_wait_us: float = 700.0
+    max_silent_events: int = 12
+
+
+@dataclass
+class AttemptRecord:
+    """One injection attempt's observables and verdict."""
+
+    attempt_number: int
+    event_count: int
+    channel: int
+    t_a: float
+    d_a: float
+    sn_a: int
+    nesn_a: int
+    t_s: Optional[float] = None
+    verdict: Optional[HeuristicVerdict] = None
+    #: L2CAP payload of the Slave's response frame, when decodable.
+    response_payload: Optional[bytes] = None
+
+
+class InjectionOutcome(enum.Enum):
+    """Terminal states of an injection session."""
+
+    SUCCESS = "success"
+    MAX_ATTEMPTS = "max-attempts"
+    CONNECTION_LOST = "connection-lost"
+
+
+@dataclass
+class InjectionReport:
+    """Result of an injection session.
+
+    Attributes:
+        outcome: terminal state.
+        attempts: number of frames transmitted.
+        records: per-attempt observations.
+        duration_us: wall-clock (simulated) time the session took.
+    """
+
+    outcome: InjectionOutcome
+    attempts: int
+    records: list[AttemptRecord] = field(default_factory=list)
+    duration_us: float = 0.0
+
+    @property
+    def success(self) -> bool:
+        """Whether the injection eventually succeeded."""
+        return self.outcome is InjectionOutcome.SUCCESS
+
+
+class _Phase(enum.Enum):
+    IDLE = "idle"
+    RESYNC = "resync"
+    ATTEMPT = "attempt"
+
+
+class Injector:
+    """Drives injection attempts over the attacker's transceiver.
+
+    Args:
+        sim: owning simulator.
+        radio: the attacker's transceiver (exclusive while injecting).
+        config: strategy parameters.
+    """
+
+    def __init__(self, sim: Simulator, radio: Transceiver,
+                 config: Optional[InjectionConfig] = None):
+        self.sim = sim
+        self.radio = radio
+        self.config = config if config is not None else InjectionConfig()
+        self.conn: Optional[SniffedConnection] = None
+        self._events: list[Event] = []
+        self._phase = _Phase.IDLE
+        self._llid = LLID.DATA_START
+        self._payload = b""
+        self._on_done: Optional[Callable[[InjectionReport], None]] = None
+        self._report: Optional[InjectionReport] = None
+        self._start_time = 0.0
+        self._attempt: Optional[AttemptRecord] = None
+        self._resync_anchor_seen = False
+        self._silent_events = 0
+        self._response_timeout: Optional[Event] = None
+
+    # ------------------------------------------------------------------
+    # Session control
+    # ------------------------------------------------------------------
+
+    def start(
+        self,
+        conn: SniffedConnection,
+        payload: bytes,
+        llid: LLID = LLID.DATA_START,
+        on_done: Optional[Callable[[InjectionReport], None]] = None,
+    ) -> None:
+        """Begin injecting ``payload`` into ``conn``.
+
+        The session runs asynchronously inside the simulator; ``on_done``
+        fires with the :class:`InjectionReport` when it terminates.
+        """
+        if self._phase is not _Phase.IDLE:
+            raise InjectionError("injector is already running")
+        if conn.last_anchor_us is None:
+            raise InjectionError("connection has no observed anchor yet")
+        self.conn = conn
+        self._llid = llid
+        self._payload = payload
+        self._on_done = on_done
+        self._report = InjectionReport(InjectionOutcome.MAX_ATTEMPTS, 0)
+        self._start_time = self.sim.now
+        self._silent_events = 0
+        self.radio.on_frame = self._on_frame
+        # Attempt straight away if we already know the Slave's bits;
+        # otherwise resync first (paper §V-C: the attacker must have
+        # observed a Slave frame in the preceding event).
+        if conn.slave_bits.seen:
+            self._next_event(_Phase.ATTEMPT)
+        else:
+            self._next_event(_Phase.RESYNC)
+
+    def cancel(self) -> None:
+        """Abort the session without reporting."""
+        for event in self._events:
+            event.cancel()
+        self._events.clear()
+        self._phase = _Phase.IDLE
+        self.radio.stop_listening()
+
+    def _schedule(self, time_us: float, handler, label: str) -> Event:
+        event = self.sim.schedule_at(max(time_us, self.sim.now), handler, label)
+        self._events.append(event)
+        self._events = [e for e in self._events if not e.cancelled]
+        return event
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+
+    def _next_event(self, phase: _Phase) -> None:
+        conn = self.conn
+        assert conn is not None and self._report is not None
+        if not conn.alive:
+            self._finish(InjectionOutcome.CONNECTION_LOST)
+            return
+        channel = conn.advance_event()
+        try:
+            predicted = conn.predicted_anchor_us()
+        except SnifferError:
+            self._finish(InjectionOutcome.CONNECTION_LOST)
+            return
+        if phase is _Phase.ATTEMPT and not conn.slave_bits.seen:
+            phase = _Phase.RESYNC
+        if (phase is _Phase.ATTEMPT
+                and self._report.attempts >= self.config.max_attempts):
+            self._finish(InjectionOutcome.MAX_ATTEMPTS)
+            return
+        self._phase = phase
+        if phase is _Phase.ATTEMPT:
+            w_est = conn.estimated_widening_us(
+                self.config.slave_sca_assumption_ppm
+            )
+            t_tx = predicted - w_est + self.config.guard_us
+            self._schedule(t_tx, lambda ch=channel: self._transmit(ch),
+                           "inject-tx")
+        else:
+            w_full = conn.estimated_widening_us(50.0) + _RESYNC_MARGIN_US
+            self._resync_anchor_seen = False
+            self._schedule(predicted - w_full,
+                           lambda ch=channel: self._tune(ch),
+                           "inject-resync-open")
+            self._schedule(predicted + w_full + _RESYNC_TAIL_US,
+                           self._resync_closed, "inject-resync-close")
+
+    # ------------------------------------------------------------------
+    # Attempt phase
+    # ------------------------------------------------------------------
+
+    def _transmit(self, channel: int) -> None:
+        conn = self.conn
+        assert conn is not None and self._report is not None
+        if self.radio.is_transmitting(self.sim.now):
+            # Pathological overlap with our own previous traffic; skip.
+            self._next_event(_Phase.RESYNC)
+            return
+        sn_a, nesn_a = conn.forged_bits()
+        pdu = DataPdu.make(self._llid, self._payload, sn=sn_a, nesn=nesn_a)
+        pdu_bytes = pdu.to_bytes()
+        crc = compute_crc(pdu_bytes, conn.params.crc_init)
+        self.radio.stop_listening()
+        self.radio.rx_phy = conn.phy
+        frame = self.radio.transmit(conn.params.access_address, pdu_bytes,
+                                    crc, channel, phy=conn.phy)
+        self._report.attempts += 1
+        self._attempt = AttemptRecord(
+            attempt_number=self._report.attempts,
+            event_count=conn.event_count,
+            channel=channel,
+            t_a=frame.start_us,
+            d_a=frame.duration_us,
+            sn_a=sn_a,
+            nesn_a=nesn_a,
+        )
+        self._report.records.append(self._attempt)
+        self.sim.trace.record(self.sim.now, self.radio.name,
+                              "injection-attempt",
+                              attempt=self._report.attempts,
+                              event_count=conn.event_count,
+                              channel=channel, t_a=frame.start_us)
+        self._schedule(frame.end_us + 0.5,
+                       lambda ch=channel: self._tune(ch),
+                       "inject-rx-on")
+        self._response_timeout = self._schedule(
+            frame.end_us + T_IFS_US + self.config.response_wait_us,
+            self._attempt_timeout, "inject-response-timeout",
+        )
+
+    def _tune(self, channel: int) -> None:
+        assert self.conn is not None
+        self.radio.rx_phy = self.conn.phy
+        self.radio.listen(channel)
+
+    def _attempt_timeout(self) -> None:
+        if self._phase is not _Phase.ATTEMPT or self._attempt is None:
+            return
+        self.radio.stop_listening()
+        attempt = self._attempt
+        attempt.verdict = HeuristicVerdict(False, False, False, False)
+        self._attempt = None
+        self.sim.trace.record(self.sim.now, self.radio.name,
+                              "injection-no-response",
+                              attempt=attempt.attempt_number)
+        self._after_failed_attempt()
+
+    def _on_attempt_response(self, frame: RadioFrame) -> None:
+        conn = self.conn
+        attempt = self._attempt
+        assert conn is not None and attempt is not None
+        if self._response_timeout is not None:
+            self._response_timeout.cancel()
+        self.radio.stop_listening()
+        sn_s: Optional[int] = None
+        nesn_s: Optional[int] = None
+        if verify_crc(frame, conn.params.crc_init):
+            pdu = DataPdu.from_bytes(frame.pdu)
+            sn_s, nesn_s = pdu.header.sn, pdu.header.nesn
+            conn.slave_bits.sn = sn_s
+            conn.slave_bits.nesn = nesn_s
+            conn.slave_bits.seen = True
+            if len(pdu.payload) > 0 and not pdu.is_control:
+                attempt.response_payload = pdu.payload
+        obs = HeuristicInputs(
+            t_a=attempt.t_a, d_a=attempt.d_a,
+            sn_a=attempt.sn_a, nesn_a=attempt.nesn_a,
+            t_s=frame.start_us, sn_s=sn_s, nesn_s=nesn_s,
+        )
+        verdict = evaluate_heuristic(obs)
+        attempt.t_s = frame.start_us
+        attempt.verdict = verdict
+        self._attempt = None
+        if verdict.timing_ok:
+            # The Slave re-anchored on our frame: our transmission start is
+            # the connection's new anchor point.
+            conn.note_anchor(attempt.t_a)
+        self.sim.trace.record(self.sim.now, self.radio.name,
+                              "injection-verdict",
+                              attempt=attempt.attempt_number,
+                              success=verdict.success,
+                              timing_ok=verdict.timing_ok,
+                              ack_ok=verdict.ack_ok)
+        if verdict.success:
+            self._finish(InjectionOutcome.SUCCESS)
+        else:
+            self._after_failed_attempt()
+
+    def _after_failed_attempt(self) -> None:
+        next_phase = (_Phase.RESYNC if self.config.resync_between_attempts
+                      else _Phase.ATTEMPT)
+        self._next_event(next_phase)
+
+    # ------------------------------------------------------------------
+    # Resync phase
+    # ------------------------------------------------------------------
+
+    def _resync_closed(self) -> None:
+        if self._phase is not _Phase.RESYNC:
+            return
+        self.radio.stop_listening()
+        if self._resync_anchor_seen:
+            self._silent_events = 0
+            self._next_event(_Phase.ATTEMPT)
+        else:
+            self._silent_events += 1
+            if self._silent_events >= self.config.max_silent_events:
+                self._finish(InjectionOutcome.CONNECTION_LOST)
+            else:
+                self._next_event(_Phase.RESYNC)
+
+    def _on_resync_frame(self, frame: RadioFrame) -> None:
+        conn = self.conn
+        assert conn is not None
+        if not self._resync_anchor_seen:
+            self._resync_anchor_seen = True
+            conn.note_anchor(frame.start_us)
+            if verify_crc(frame, conn.params.crc_init):
+                pdu = DataPdu.from_bytes(frame.pdu)
+                conn.master_bits.sn = pdu.header.sn
+                conn.master_bits.nesn = pdu.header.nesn
+                conn.master_bits.seen = True
+                self._observe_control(pdu)
+        else:
+            if verify_crc(frame, conn.params.crc_init):
+                pdu = DataPdu.from_bytes(frame.pdu)
+                conn.slave_bits.sn = pdu.header.sn
+                conn.slave_bits.nesn = pdu.header.nesn
+                conn.slave_bits.seen = True
+
+    def _observe_control(self, pdu: DataPdu) -> None:
+        conn = self.conn
+        assert conn is not None
+        if not pdu.is_control or len(pdu.payload) == 0:
+            return
+        try:
+            control = decode_control_pdu(pdu.payload)
+        except Exception:
+            return
+        if isinstance(control, ConnectionUpdateInd):
+            conn.observe_update(control)
+        elif isinstance(control, ChannelMapInd):
+            conn.observe_channel_map(control)
+        elif isinstance(control, PhyUpdateInd):
+            conn.observe_phy_update(control)
+
+    # ------------------------------------------------------------------
+    # Shared reception dispatch
+    # ------------------------------------------------------------------
+
+    def _on_frame(self, frame: RadioFrame, rssi_dbm: float) -> None:
+        conn = self.conn
+        if conn is None:
+            return
+        if frame.access_address != conn.params.access_address:
+            return
+        if self._phase is _Phase.ATTEMPT and self._attempt is not None:
+            self._on_attempt_response(frame)
+        elif self._phase is _Phase.RESYNC:
+            self._on_resync_frame(frame)
+
+    # ------------------------------------------------------------------
+    # Termination
+    # ------------------------------------------------------------------
+
+    def _finish(self, outcome: InjectionOutcome) -> None:
+        assert self._report is not None
+        self._report.outcome = outcome
+        self._report.duration_us = self.sim.now - self._start_time
+        self._phase = _Phase.IDLE
+        for event in self._events:
+            event.cancel()
+        self._events.clear()
+        report = self._report
+        self.sim.trace.record(self.sim.now, self.radio.name,
+                              "injection-finished",
+                              outcome=outcome.value,
+                              attempts=report.attempts)
+        if self._on_done is not None:
+            self._on_done(report)

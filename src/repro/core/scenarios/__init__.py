@@ -1,0 +1,27 @@
+"""The paper's four attack scenarios (§VI).
+
+* Scenario A — illegitimately trigger a device feature via injected ATT
+  requests (:class:`IllegitimateUseScenario`);
+* Scenario B — hijack the Slave role via an injected LL_TERMINATE_IND
+  (:class:`SlaveHijackScenario`);
+* Scenario C — hijack the Master role via a forged connection update
+  (:class:`MasterHijackScenario`);
+* Scenario D — full Man-in-the-Middle on an established connection
+  (:class:`MitmScenario`);
+* Scenario E — the paper's §IX future work: HID-over-GATT keystroke
+  injection after a Slave hijack (:class:`KeystrokeInjectionScenario`).
+"""
+
+from repro.core.scenarios.scenario_a import IllegitimateUseScenario
+from repro.core.scenarios.scenario_b import SlaveHijackScenario
+from repro.core.scenarios.scenario_c import MasterHijackScenario
+from repro.core.scenarios.scenario_d import MitmScenario
+from repro.core.scenarios.scenario_e import KeystrokeInjectionScenario
+
+__all__ = [
+    "IllegitimateUseScenario",
+    "KeystrokeInjectionScenario",
+    "MasterHijackScenario",
+    "MitmScenario",
+    "SlaveHijackScenario",
+]

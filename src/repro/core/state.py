@@ -1,0 +1,230 @@
+"""The attacker's mirror of a victim connection.
+
+A :class:`SniffedConnection` tracks everything the attacker can learn
+passively: the CONNECT_REQ parameters (or their recovered equivalents),
+the channel-hopping state, observed anchor points in the attacker's own
+timebase, and the last Slave SN/NESN bits (needed by paper eq. 6 to forge
+consistent acknowledgement bits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SnifferError
+from repro.ll.connection import ConnectionParams, make_channel_selector
+from repro.ll.csa2 import Csa2
+from repro.ll.connection import phy_mode_from_mask
+from repro.ll.pdu.control import ChannelMapInd, ConnectionUpdateInd, PhyUpdateInd
+from repro.phy.modulation import PhyMode
+from repro.ll.timing import WORST_CASE_SLAVE_SCA_PPM, window_widening_us
+from repro.utils.units import SLOT_US
+
+
+@dataclass
+class ObservedBits:
+    """The flow-control bits of the last frame seen from one device."""
+
+    sn: int = 0
+    nesn: int = 0
+    seen: bool = False
+
+
+class SniffedConnection:
+    """Attacker-side live model of a connection.
+
+    Args:
+        params: connection parameters, from CONNECT_REQ capture or from
+            parameter recovery on an established connection.
+
+    The channel selector mirrors the victims'; :meth:`advance_event` must
+    be called exactly once per connection event, whether or not the
+    attacker heard anything during it.
+    """
+
+    def __init__(self, params: ConnectionParams):
+        self.params = params
+        self.selector = make_channel_selector(params)
+        self.event_count = 0
+        self.current_channel: Optional[int] = None
+        #: Attacker-timebase time of the last observed anchor (true µs).
+        self.last_anchor_us: Optional[float] = None
+        #: Events elapsed since the last observed anchor.
+        self.events_since_anchor = 0
+        self.master_bits = ObservedBits()
+        self.slave_bits = ObservedBits()
+        self._pending_update: Optional[ConnectionUpdateInd] = None
+        self._pending_channel_map: Optional[ChannelMapInd] = None
+        self._pending_phy: Optional[PhyUpdateInd] = None
+        #: Current PHY of the connection (PHY updates are instant-based).
+        self.phy: PhyMode = PhyMode.LE_1M
+        #: Victim addresses, when the CONNECT_REQ was captured.
+        self.master_address: Optional[object] = None
+        self.slave_address: Optional[object] = None
+        self.alive = True
+
+    # ------------------------------------------------------------------
+    # Hopping
+    # ------------------------------------------------------------------
+
+    def advance_event(self) -> int:
+        """Move to the next connection event; returns its channel.
+
+        Applies any pending channel-map or connection update whose instant
+        equals the new event counter — keeping the attacker synchronised
+        through procedures it observed (or injected itself, Scenario C/D).
+        """
+        self.event_count = (self.event_count + 1) & 0xFFFF
+        self.events_since_anchor += 1
+        if (self._pending_channel_map is not None
+                and self._pending_channel_map.instant == self.event_count):
+            self.params = self.params.with_channel_map(
+                self._pending_channel_map.channel_map
+            )
+            self.selector.set_channel_map(self._pending_channel_map.channel_map)
+            self._pending_channel_map = None
+        if (self._pending_phy is not None
+                and self._pending_phy.instant == self.event_count):
+            self.phy = phy_mode_from_mask(self._pending_phy.m_to_s_phy)
+            self._pending_phy = None
+        update_due = None
+        if (self._pending_update is not None
+                and self._pending_update.instant == self.event_count):
+            update_due = self._pending_update
+            self._pending_update = None
+        if isinstance(self.selector, Csa2):
+            self.current_channel = self.selector.channel_for_event(self.event_count)
+        else:
+            self.current_channel = self.selector.next_channel()
+        if update_due is not None:
+            # Predicted anchor re-bases at the update transmit window, as
+            # the Slave's does (paper Fig. 2).
+            predicted = self.predicted_anchor_us()
+            self.params = self.params.updated(update_due)
+            self.last_anchor_us = (
+                predicted + SLOT_US + update_due.win_offset * SLOT_US
+            )
+            self.events_since_anchor = 0
+        return self.current_channel
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+
+    def note_anchor(self, time_us: float) -> None:
+        """Record an observed anchor (start of a Master-role frame)."""
+        self.last_anchor_us = time_us
+        self.events_since_anchor = 0
+
+    def predicted_anchor_us(self) -> float:
+        """Predicted anchor of the *current* event, attacker timebase."""
+        if self.last_anchor_us is None:
+            raise SnifferError("no anchor observed yet")
+        return (self.last_anchor_us
+                + self.events_since_anchor * self.params.interval_us)
+
+    def fast_forward(self, now_us: float) -> int:
+        """Advance the mirrored event counter across an idle period.
+
+        After the attacker's radio sat idle, the number of elapsed
+        connection events is recovered from wall-clock time — clock drift
+        over even a minute is far below half an interval, so the count is
+        exact.  Returns the number of events skipped; the caller should
+        passively resynchronise before relying on fine timing (the anchor
+        prediction error grows with the drift budget over the gap).
+        """
+        if self.last_anchor_us is None:
+            raise SnifferError("cannot fast-forward without an anchor")
+        skipped = 0
+        while self.predicted_anchor_us() < now_us:
+            self.advance_event()
+            skipped += 1
+        return skipped
+
+    def estimated_widening_us(
+        self, slave_sca_ppm: float = WORST_CASE_SLAVE_SCA_PPM
+    ) -> float:
+        """The attacker's window-widening estimate (paper §V-C).
+
+        Uses the Master SCA from CONNECT_REQ (or LL_CLOCK_ACCURACY traffic)
+        and the worst-case 20 ppm assumption for the Slave.
+        """
+        if self.last_anchor_us is None:
+            raise SnifferError("no anchor observed yet")
+        interval = self.predicted_anchor_us() - self.last_anchor_us
+        if interval <= 0:
+            interval = self.params.interval_us
+        return window_widening_us(
+            self.params.master_sca_ppm, slave_sca_ppm, interval
+        )
+
+    # ------------------------------------------------------------------
+    # Observed control procedures
+    # ------------------------------------------------------------------
+
+    def instant_in_future_for(self, instant: int) -> bool:
+        """Whether ``instant`` is ahead of the mirrored event counter."""
+        return 0 < ((instant - self.event_count) & 0xFFFF) < 32767
+
+    def observe_update(self, update: ConnectionUpdateInd) -> None:
+        """Track a CONNECTION_UPDATE seen on (or injected into) the link."""
+        self._pending_update = update
+
+    def observe_channel_map(self, update: ChannelMapInd) -> None:
+        """Track a CHANNEL_MAP update seen on (or injected into) the link."""
+        self._pending_channel_map = update
+
+    def observe_phy_update(self, update: PhyUpdateInd) -> None:
+        """Track a PHY update seen on (or injected into) the link."""
+        self._pending_phy = update
+
+    # ------------------------------------------------------------------
+    # Forged-bit arithmetic (paper eq. 6)
+    # ------------------------------------------------------------------
+
+    def clone(self) -> "SniffedConnection":
+        """Independent copy sharing no state, *without* pending procedures.
+
+        Scenario D forks the attacker's model at the update instant: the
+        clone keeps following the legitimate Master's old schedule while
+        the original applies the forged update and follows the Slave.
+        """
+        other = SniffedConnection(self.params)
+        if isinstance(self.selector, Csa2):
+            other.selector = Csa2(self.params.access_address,
+                                  self.params.channel_map)
+        else:
+            other.selector = self.selector.clone()
+        other.event_count = self.event_count
+        other.current_channel = self.current_channel
+        other.last_anchor_us = self.last_anchor_us
+        other.events_since_anchor = self.events_since_anchor
+        other.phy = self.phy
+        other.master_bits = ObservedBits(self.master_bits.sn,
+                                         self.master_bits.nesn,
+                                         self.master_bits.seen)
+        other.slave_bits = ObservedBits(self.slave_bits.sn,
+                                        self.slave_bits.nesn,
+                                        self.slave_bits.seen)
+        return other
+
+    def forged_bits(self) -> tuple[int, int]:
+        """(SN_a, NESN_a) for an injected Master-role frame.
+
+        ``SN_a = NESN_s`` (so the Slave accepts the frame as new data) and
+        ``NESN_a = (SN_s + 1) mod 2`` (so the Slave's last frame reads as
+        acknowledged).  Requires having observed a Slave frame.
+        """
+        if not self.slave_bits.seen:
+            raise SnifferError("no Slave frame observed yet (need SN_s/NESN_s)")
+        sn_a = self.slave_bits.nesn
+        nesn_a = (self.slave_bits.sn + 1) % 2
+        return sn_a, nesn_a
+
+    def __repr__(self) -> str:
+        return (
+            f"SniffedConnection(aa={self.params.access_address:#010x}, "
+            f"event={self.event_count}, ch={self.current_channel}, "
+            f"interval={self.params.interval})"
+        )

@@ -1,0 +1,24 @@
+"""Cryptographic primitives for BLE link-layer security (pure Python).
+
+AES-128, AES-CCM authenticated encryption as used by the Link Layer, and
+the legacy-pairing confirm/key functions (c1, s1) from the Security
+Manager.  Everything is implemented from scratch — no external crypto
+dependency — because the reproduction must run offline.
+"""
+
+from repro.crypto.aes import aes128_encrypt_block, expand_key
+from repro.crypto.ccm import ccm_decrypt, ccm_encrypt
+from repro.crypto.pairing import c1, s1, session_key_from_skd
+from repro.crypto.session import LinkEncryption, MicError
+
+__all__ = [
+    "LinkEncryption",
+    "MicError",
+    "aes128_encrypt_block",
+    "c1",
+    "ccm_decrypt",
+    "ccm_encrypt",
+    "expand_key",
+    "s1",
+    "session_key_from_skd",
+]

@@ -1,0 +1,102 @@
+"""AES-128 block cipher, encryption direction only (CCM needs no decrypt).
+
+A straightforward table-free implementation: S-box lookup, ShiftRows,
+MixColumns over GF(2^8), and the standard key schedule.  Performance is
+adequate for simulation workloads (a few thousand blocks per experiment).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SecurityError
+
+_SBOX = bytes.fromhex(
+    "637c777bf26b6fc53001672bfed7ab76"
+    "ca82c97dfa5947f0add4a2af9ca472c0"
+    "b7fd9326363ff7cc34a5e5f171d83115"
+    "04c723c31896059a071280e2eb27b275"
+    "09832c1a1b6e5aa0523bd6b329e32f84"
+    "53d100ed20fcb15b6acbbe394a4c58cf"
+    "d0efaafb434d338545f9027f503c9fa8"
+    "51a3408f929d38f5bcb6da2110fff3d2"
+    "cd0c13ec5f974417c4a77e3d645d1973"
+    "60814fdc222a908846eeb814de5e0bdb"
+    "e0323a0a4906245cc2d3ac629195e479"
+    "e7c8376d8dd54ea96c56f4ea657aae08"
+    "ba78252e1ca6b4c6e8dd741f4bbd8b8a"
+    "703eb5664803f60e613557b986c11d9e"
+    "e1f8981169d98e949b1e87e9ce5528df"
+    "8ca1890dbfe6426841992d0fb054bb16"
+)
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+
+def _xtime(a: int) -> int:
+    """Multiply by x in GF(2^8) with the AES polynomial."""
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def expand_key(key: bytes) -> list[bytes]:
+    """Expand a 16-byte key into the 11 round keys."""
+    if len(key) != 16:
+        raise SecurityError(f"AES-128 key must be 16 bytes, got {len(key)}")
+    words = [key[i : i + 4] for i in range(0, 16, 4)]
+    for i in range(4, 44):
+        temp = bytearray(words[i - 1])
+        if i % 4 == 0:
+            temp = temp[1:] + temp[:1]  # RotWord
+            temp = bytearray(_SBOX[b] for b in temp)  # SubWord
+            temp[0] ^= _RCON[i // 4 - 1]
+        words.append(bytes(a ^ b for a, b in zip(words[i - 4], temp)))
+    return [b"".join(words[4 * r : 4 * r + 4]) for r in range(11)]
+
+
+def _sub_bytes(state: bytearray) -> None:
+    for i in range(16):
+        state[i] = _SBOX[state[i]]
+
+
+def _shift_rows(state: bytearray) -> None:
+    # State is column-major: byte index = 4*col + row.
+    for row in range(1, 4):
+        rowvals = [state[4 * col + row] for col in range(4)]
+        rowvals = rowvals[row:] + rowvals[:row]
+        for col in range(4):
+            state[4 * col + row] = rowvals[col]
+
+
+def _mix_columns(state: bytearray) -> None:
+    for col in range(4):
+        a = state[4 * col : 4 * col + 4]
+        t = a[0] ^ a[1] ^ a[2] ^ a[3]
+        u = a[0]
+        state[4 * col + 0] = a[0] ^ t ^ _xtime(a[0] ^ a[1])
+        state[4 * col + 1] = a[1] ^ t ^ _xtime(a[1] ^ a[2])
+        state[4 * col + 2] = a[2] ^ t ^ _xtime(a[2] ^ a[3])
+        state[4 * col + 3] = a[3] ^ t ^ _xtime(a[3] ^ u)
+
+
+def _add_round_key(state: bytearray, round_key: bytes) -> None:
+    for i in range(16):
+        state[i] ^= round_key[i]
+
+
+def aes128_encrypt_block(key: bytes, block: bytes) -> bytes:
+    """Encrypt one 16-byte block with AES-128."""
+    if len(block) != 16:
+        raise SecurityError(f"AES block must be 16 bytes, got {len(block)}")
+    round_keys = expand_key(key)
+    state = bytearray(block)
+    _add_round_key(state, round_keys[0])
+    for rnd in range(1, 10):
+        _sub_bytes(state)
+        _shift_rows(state)
+        _mix_columns(state)
+        _add_round_key(state, round_keys[rnd])
+    _sub_bytes(state)
+    _shift_rows(state)
+    _add_round_key(state, round_keys[10])
+    return bytes(state)

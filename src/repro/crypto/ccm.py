@@ -1,0 +1,85 @@
+"""AES-CCM authenticated encryption (RFC 3610) as used by the BLE Link Layer.
+
+BLE uses CCM with a 4-byte MIC (M=4) and a 2-byte length field (L=2) over a
+13-byte nonce built from the per-direction packet counter and the session
+IV.  The MIC is what makes injection into an encrypted connection collapse
+to denial of service (paper §IV): an attacker without the session key can
+still win the timing race, but the Slave's MIC check fails.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import aes128_encrypt_block
+from repro.errors import SecurityError
+
+#: BLE's CCM MIC length in bytes.
+MIC_LEN = 4
+_L = 2  # length-field size
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def _check_nonce(nonce: bytes) -> None:
+    if len(nonce) != 15 - _L:
+        raise SecurityError(f"CCM nonce must be {15 - _L} bytes, got {len(nonce)}")
+
+
+def _cbc_mac(key: bytes, nonce: bytes, plaintext: bytes, aad: bytes) -> bytes:
+    """Compute the CCM authentication tag (before counter encryption)."""
+    flags = (0x40 if aad else 0x00) | (((MIC_LEN - 2) // 2) << 3) | (_L - 1)
+    b0 = bytes([flags]) + nonce + len(plaintext).to_bytes(_L, "big")
+    blocks = bytearray(b0)
+    if aad:
+        if len(aad) >= 0xFF00:
+            raise SecurityError("AAD too long for the short encoding")
+        adata = len(aad).to_bytes(2, "big") + aad
+        pad = (-len(adata)) % 16
+        blocks += adata + b"\x00" * pad
+    pad = (-len(plaintext)) % 16
+    blocks += plaintext + b"\x00" * pad
+    mac = b"\x00" * 16
+    for i in range(0, len(blocks), 16):
+        mac = aes128_encrypt_block(key, _xor(mac, bytes(blocks[i : i + 16])))
+    return mac[:MIC_LEN]
+
+
+def _ctr_blocks(key: bytes, nonce: bytes, count: int) -> list[bytes]:
+    """Counter-mode keystream blocks A_0 .. A_{count-1}."""
+    flags = _L - 1
+    out = []
+    for i in range(count):
+        a_i = bytes([flags]) + nonce + i.to_bytes(_L, "big")
+        out.append(aes128_encrypt_block(key, a_i))
+    return out
+
+
+def ccm_encrypt(key: bytes, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+    """Encrypt and authenticate; returns ciphertext || 4-byte MIC."""
+    _check_nonce(nonce)
+    tag = _cbc_mac(key, nonce, plaintext, aad)
+    n_blocks = 1 + (len(plaintext) + 15) // 16
+    stream = _ctr_blocks(key, nonce, n_blocks)
+    keystream = b"".join(stream[1:])
+    ciphertext = _xor(plaintext, keystream[: len(plaintext)])
+    mic = _xor(tag, stream[0][:MIC_LEN])
+    return ciphertext + mic
+
+
+def ccm_decrypt(key: bytes, nonce: bytes, ciphertext_and_mic: bytes,
+                aad: bytes = b"") -> bytes:
+    """Verify the MIC and decrypt; raises :class:`SecurityError` on failure."""
+    _check_nonce(nonce)
+    if len(ciphertext_and_mic) < MIC_LEN:
+        raise SecurityError("ciphertext shorter than the MIC")
+    ciphertext = ciphertext_and_mic[:-MIC_LEN]
+    mic = ciphertext_and_mic[-MIC_LEN:]
+    n_blocks = 1 + (len(ciphertext) + 15) // 16
+    stream = _ctr_blocks(key, nonce, n_blocks)
+    keystream = b"".join(stream[1:])
+    plaintext = _xor(ciphertext, keystream[: len(ciphertext)])
+    expected = _xor(_cbc_mac(key, nonce, plaintext, aad), stream[0][:MIC_LEN])
+    if expected != mic:
+        raise SecurityError("CCM MIC verification failed")
+    return plaintext

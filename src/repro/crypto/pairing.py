@@ -1,0 +1,81 @@
+"""Security-Manager legacy-pairing key functions.
+
+Implements the confirm-value function ``c1`` and the short-term-key
+function ``s1`` from Core Spec Vol 3 Part H §2.2.3, verified against the
+specification's sample data.  All 128-bit quantities are handled as
+**MSB-first** byte strings, matching the spec's notation; callers holding
+on-wire (LSB-first) PDUs must reverse them (see
+:class:`repro.host.smp.SecurityManager`).
+
+These functions are what CRACKLE (Ryan 2013) brute-forces: with a sniffed
+pairing exchange and a guessable TK (zero for Just Works), the STK — and
+hence the LTK — falls.  They are included both to support the
+encrypted-connection ablation and the paper's countermeasure analysis.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import aes128_encrypt_block
+from repro.errors import SecurityError
+
+
+def _xor16(a: bytes, b: bytes) -> bytes:
+    if len(a) != 16 or len(b) != 16:
+        raise SecurityError("XOR operands must be 16 bytes")
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def c1(tk: bytes, rand: bytes, preq: bytes, pres: bytes, iat: int, rat: int,
+       ia: bytes, ra: bytes) -> bytes:
+    """Legacy-pairing confirm value (spec sample data verified).
+
+    Args:
+        tk: 16-byte temporary key (all zero for Just Works).
+        rand: 16-byte pairing random, MSB-first.
+        preq: 7-byte Pairing Request, MSB-first (reverse of wire order).
+        pres: 7-byte Pairing Response, MSB-first.
+        iat: initiating address type (0 public, 1 random).
+        rat: responding address type.
+        ia: 6-byte initiating address, MSB-first.
+        ra: 6-byte responding address, MSB-first.
+
+    Returns:
+        The 16-byte confirm value, MSB-first.
+    """
+    if len(preq) != 7 or len(pres) != 7:
+        raise SecurityError("preq/pres must be 7 bytes each")
+    if len(ia) != 6 or len(ra) != 6:
+        raise SecurityError("addresses must be 6 bytes each")
+    if len(rand) != 16:
+        raise SecurityError("pairing random must be 16 bytes")
+    # p1 = pres || preq || rat' || iat'  (128-bit, MSB-first).
+    p1 = pres + preq + bytes([rat & 1, iat & 1])
+    # p2 = padding || ia || ra.
+    p2 = bytes(4) + ia + ra
+    inner = aes128_encrypt_block(tk, _xor16(rand, p1))
+    return aes128_encrypt_block(tk, _xor16(inner, p2))
+
+
+def s1(tk: bytes, srand: bytes, mrand: bytes) -> bytes:
+    """Legacy-pairing short-term key (spec sample data verified).
+
+    ``r' = srand[LSO 8] || mrand[LSO 8]`` — with MSB-first strings the
+    least-significant octets are the trailing eight bytes.
+    """
+    if len(srand) != 16 or len(mrand) != 16:
+        raise SecurityError("pairing randoms must be 16 bytes")
+    r = srand[8:] + mrand[8:]
+    return aes128_encrypt_block(tk, r)
+
+
+def session_key_from_skd(ltk: bytes, skd_m: int, skd_s: int) -> bytes:
+    """LL session key: AES(LTK, SKD) with SKD = SKD_m || SKD_s.
+
+    The two 8-byte session-key diversifier halves are exchanged in
+    LL_ENC_REQ / LL_ENC_RSP; the session key encrypts the connection with
+    CCM (Core Spec Vol 6 Part B §5.1.3.1).
+    """
+    if len(ltk) != 16:
+        raise SecurityError(f"LTK must be 16 bytes, got {len(ltk)}")
+    skd = skd_m.to_bytes(8, "little") + skd_s.to_bytes(8, "little")
+    return aes128_encrypt_block(ltk, skd)

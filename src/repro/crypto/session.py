@@ -1,0 +1,92 @@
+"""Link-Layer encryption session (AES-CCM over data PDUs).
+
+Once the encryption-setup procedure completes, every data-channel PDU with
+a non-zero payload is encrypted and carries a 4-byte MIC.  The CCM nonce is
+the 39-bit per-direction packet counter plus the direction bit, followed by
+the 8-byte session IV (IV_m || IV_s halves).
+
+The consequence for InjectaBLE (paper §IV): an attacker who wins the race
+but lacks the session key produces a frame whose MIC cannot verify; the
+receiving Link Layer treats this as a fatal security event and tears the
+connection down — integrity/confidentiality hold, availability does not.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.ccm import MIC_LEN, ccm_decrypt, ccm_encrypt
+from repro.errors import SecurityError
+from repro.ll.pdu.data import DataHeader, DataPdu
+
+
+class MicError(SecurityError):
+    """MIC verification failed on a received encrypted PDU."""
+
+
+class LinkEncryption:
+    """Per-connection CCM encryption state.
+
+    Args:
+        session_key: 16-byte key from
+            :func:`repro.crypto.pairing.session_key_from_skd`.
+        iv_m: Master's 4-byte IV contribution (from LL_ENC_REQ).
+        iv_s: Slave's 4-byte IV contribution (from LL_ENC_RSP).
+        is_master: direction bit owner; the Master sets direction 1 on the
+            PDUs it sends.
+    """
+
+    def __init__(self, session_key: bytes, iv_m: int, iv_s: int, is_master: bool):
+        if len(session_key) != 16:
+            raise SecurityError("session key must be 16 bytes")
+        self.session_key = session_key
+        self.iv = iv_m.to_bytes(4, "little") + iv_s.to_bytes(4, "little")
+        self.is_master = is_master
+        self.tx_counter = 0
+        self.rx_counter = 0
+
+    def _nonce(self, counter: int, direction_master: bool) -> bytes:
+        if counter >= 1 << 39:
+            raise SecurityError("packet counter exhausted")
+        packed = counter | (int(direction_master) << 39)
+        return packed.to_bytes(5, "little") + self.iv
+
+    @staticmethod
+    def _aad(header: DataHeader) -> bytes:
+        # First header byte with NESN, SN and MD masked out (they may be
+        # changed by retransmission without re-encryption).
+        byte0 = header.to_bytes()[0] & 0b11100011
+        return bytes([byte0])
+
+    def encrypt_pdu(self, pdu: DataPdu) -> DataPdu:
+        """Encrypt a plaintext PDU; empty PDUs pass through unencrypted."""
+        if len(pdu.payload) == 0:
+            return pdu
+        nonce = self._nonce(self.tx_counter, self.is_master)
+        self.tx_counter += 1
+        ciphertext = ccm_encrypt(
+            self.session_key, nonce, pdu.payload, self._aad(pdu.header)
+        )
+        header = DataHeader(
+            pdu.header.llid, pdu.header.nesn, pdu.header.sn, pdu.header.md,
+            len(ciphertext),
+        )
+        return DataPdu(header, ciphertext)
+
+    def decrypt_pdu(self, pdu: DataPdu) -> DataPdu:
+        """Decrypt a received PDU; raises :class:`MicError` on MIC failure."""
+        if len(pdu.payload) == 0:
+            return pdu
+        if len(pdu.payload) <= MIC_LEN:
+            raise MicError("encrypted PDU shorter than its MIC")
+        nonce = self._nonce(self.rx_counter, not self.is_master)
+        try:
+            plaintext = ccm_decrypt(
+                self.session_key, nonce, pdu.payload, self._aad(pdu.header)
+            )
+        except SecurityError as exc:
+            raise MicError(str(exc)) from exc
+        self.rx_counter += 1
+        header = DataHeader(
+            pdu.header.llid, pdu.header.nesn, pdu.header.sn, pdu.header.md,
+            len(plaintext),
+        )
+        return DataPdu(header, plaintext)

@@ -1,0 +1,16 @@
+"""Countermeasures from paper §VIII.
+
+Three mitigation families are reproduced:
+
+1. **Window-widening reduction** — implemented as
+   ``SlaveLinkLayer.widening_scale``; exercised by the ablation benchmark.
+2. **Systematic link-layer encryption** — implemented by the SMP + LL
+   encryption pipeline; limits InjectaBLE to denial of service.
+3. **Passive intrusion detection** — :class:`~repro.defense.ids.LinkLayerIds`,
+   a RadIoT-style wideband monitor that flags the injection's double-frame
+   signature, anchor anomalies and jamming.
+"""
+
+from repro.defense.ids import IdsAlert, LinkLayerIds
+
+__all__ = ["IdsAlert", "LinkLayerIds"]

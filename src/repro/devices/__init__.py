@@ -1,0 +1,16 @@
+"""Simulated victim devices: the paper's lightbulb, keyfob and smartwatch,
+plus a smartphone Central."""
+
+from repro.devices.base import SimulatedPeripheral
+from repro.devices.keyfob import Keyfob
+from repro.devices.lightbulb import Lightbulb
+from repro.devices.smartphone import Smartphone
+from repro.devices.smartwatch import Smartwatch
+
+__all__ = [
+    "Keyfob",
+    "Lightbulb",
+    "SimulatedPeripheral",
+    "Smartphone",
+    "Smartwatch",
+]

@@ -1,0 +1,89 @@
+"""Base class for simulated GATT peripherals.
+
+Bundles a Slave Link Layer, a GATT server and the peripheral host glue,
+and registers the GAP service every BLE device exposes (with the Device
+Name characteristic Scenario B spoofs).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.host.gap import adv_data_with_name
+from repro.host.gatt.attributes import Characteristic, Service
+from repro.host.gatt.server import GattServer
+from repro.host.gatt.uuids import UUID_DEVICE_NAME, UUID_GAP_SERVICE
+from repro.host.stack import PeripheralHost
+from repro.ll.pdu.address import BdAddress
+from repro.ll.slave import SlaveLinkLayer
+from repro.sim.medium import Medium
+from repro.sim.simulator import Simulator
+
+
+class SimulatedPeripheral:
+    """A complete simulated BLE peripheral.
+
+    Args:
+        sim: owning simulator.
+        medium: shared radio medium (device must be placed in its topology).
+        name: device/topology name; also the GAP Device Name value.
+        address: BD_ADDR; generated when omitted.
+        adv_interval_ms: advertising interval.
+        ltk: pre-provisioned long-term key (enables encryption setup).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        name: str,
+        address: Optional[BdAddress] = None,
+        adv_interval_ms: float = 100.0,
+        ltk: Optional[bytes] = None,
+        sca_ppm: float = 50.0,
+        tx_power_dbm: float = 0.0,
+    ):
+        self.sim = sim
+        if address is None:
+            address = BdAddress.generate(sim.streams.get(f"addr-{name}"))
+        self.ll = SlaveLinkLayer(
+            sim, medium, name, address,
+            adv_interval_ms=adv_interval_ms,
+            adv_data=adv_data_with_name(name),
+            scan_data=adv_data_with_name(name),
+            ltk=ltk,
+            readvertise_on_disconnect=True,
+            sca_ppm=sca_ppm,
+            tx_power_dbm=tx_power_dbm,
+        )
+        self.gatt = GattServer()
+        self.host = PeripheralHost(self.ll, self.gatt)
+        self.device_name_char = Characteristic(
+            UUID_DEVICE_NAME, value=name.encode(), read=True, write=True
+        )
+        gap = Service(UUID_GAP_SERVICE)
+        gap.add(self.device_name_char)
+        self.gatt.register(gap)
+        self._build_profile()
+
+    def _build_profile(self) -> None:
+        """Subclasses register their application services here."""
+
+    @property
+    def name(self) -> str:
+        """Device name."""
+        return self.ll.name
+
+    @property
+    def address(self) -> BdAddress:
+        """Device address."""
+        return self.ll.address
+
+    def power_on(self) -> None:
+        """Start advertising."""
+        self.ll.start_advertising()
+
+    @property
+    def is_connected(self) -> bool:
+        """Whether the peripheral currently has a Central."""
+        return self.ll.is_connected

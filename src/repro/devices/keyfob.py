@@ -1,0 +1,64 @@
+"""The keyfob from the paper: an Immediate Alert peripheral that rings.
+
+Scenario A injects a Write Command to the Alert Level characteristic to
+make the fob ring (paper §VI-A).
+"""
+
+from __future__ import annotations
+
+from repro.devices.base import SimulatedPeripheral
+from repro.host.gatt.attributes import Characteristic, Service
+from repro.host.gatt.uuids import (
+    UUID_ALERT_LEVEL,
+    UUID_BATTERY_LEVEL,
+    UUID_BATTERY_SERVICE,
+    UUID_IMMEDIATE_ALERT_SERVICE,
+)
+
+#: Alert levels of the Immediate Alert service.
+ALERT_NONE = 0x00
+ALERT_MILD = 0x01
+ALERT_HIGH = 0x02
+
+
+class Keyfob(SimulatedPeripheral):
+    """A findable keyfob.
+
+    Attributes:
+        alert_level: last alert level written.
+        ring_count: how many times a non-zero alert made it ring.
+    """
+
+    def _build_profile(self) -> None:
+        self.alert_level = ALERT_NONE
+        self.ring_count = 0
+        alert_service = Service(UUID_IMMEDIATE_ALERT_SERVICE)
+        self.alert_char = alert_service.add(
+            Characteristic(UUID_ALERT_LEVEL, read=False, write=True,
+                           write_no_rsp=True, on_write=self._on_alert)
+        )
+        self.gatt.register(alert_service)
+        battery = Service(UUID_BATTERY_SERVICE)
+        self.battery_char = battery.add(
+            Characteristic(UUID_BATTERY_LEVEL, value=b"\x5f", read=True)
+        )
+        self.gatt.register(battery)
+
+    def _on_alert(self, value: bytes) -> None:
+        if not value:
+            return
+        self.alert_level = value[0]
+        if self.alert_level != ALERT_NONE:
+            self.ring_count += 1
+            self.sim.trace.record(self.sim.now, self.name, "keyfob-ring",
+                                  level=self.alert_level)
+
+    @property
+    def is_ringing(self) -> bool:
+        """Whether the fob is currently ringing."""
+        return self.alert_level != ALERT_NONE
+
+    @staticmethod
+    def ring_payload(level: int = ALERT_HIGH) -> bytes:
+        """Alert Level value that makes the fob ring."""
+        return bytes([level])

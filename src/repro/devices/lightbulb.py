@@ -1,0 +1,116 @@
+"""The connected lightbulb from the paper's experiments.
+
+The paper reverse-engineered a commercial bulb whose GATT protocol accepts
+Write Requests controlling power, colour and brightness, and which
+supported the widest Hop Interval range of the devices tested (§VII-A).
+This simulated bulb exposes the same surface:
+
+* a control characteristic accepting opcode-tagged writes
+  (``0x01 on/off``, ``0x02 RGB``, ``0x03 brightness``);
+* a state characteristic readable back.
+
+The injected "turn off" Write Request of experiments 1-3 targets the
+control characteristic with a 14-byte PDU, reproducing the paper's 22-byte
+over-the-air frame.
+"""
+
+from __future__ import annotations
+
+from repro.devices.base import SimulatedPeripheral
+from repro.host.gatt.attributes import Characteristic, Service
+
+#: Vendor service/characteristic UUIDs (16-bit, private range).
+UUID_BULB_SERVICE = 0xFF10
+UUID_BULB_CONTROL = 0xFF11
+UUID_BULB_STATE = 0xFF12
+
+#: Control opcodes.
+OP_POWER = 0x01
+OP_COLOR = 0x02
+OP_BRIGHTNESS = 0x03
+OP_TOGGLE = 0x04
+
+
+class Lightbulb(SimulatedPeripheral):
+    """A controllable RGB lightbulb.
+
+    Attributes:
+        is_on: current power state.
+        color: current (r, g, b).
+        brightness: 0-255.
+        command_log: every decoded control write, for experiment checks.
+    """
+
+    def _build_profile(self) -> None:
+        self.is_on = True
+        self.color = (255, 255, 255)
+        self.brightness = 255
+        self.command_log: list[tuple] = []
+        service = Service(UUID_BULB_SERVICE)
+        self.control_char = service.add(
+            Characteristic(UUID_BULB_CONTROL, read=False, write=True,
+                           write_no_rsp=True, on_write=self._on_control)
+        )
+        self.state_char = service.add(
+            Characteristic(UUID_BULB_STATE, read=True,
+                           on_read=self._read_state)
+        )
+        self.gatt.register(service)
+
+    # ------------------------------------------------------------------
+    # Control protocol
+    # ------------------------------------------------------------------
+
+    def _on_control(self, value: bytes) -> None:
+        if not value:
+            # The shortest observable command: an empty write toggles power
+            # (several commercial bulbs behave this way).
+            self.is_on = not self.is_on
+            self.command_log.append(("toggle", self.is_on))
+            return
+        opcode = value[0]
+        if opcode == OP_TOGGLE:
+            self.is_on = not self.is_on
+            self.command_log.append(("toggle", self.is_on))
+        elif opcode == OP_POWER and len(value) >= 2:
+            self.is_on = bool(value[1])
+            self.command_log.append(("power", self.is_on))
+        elif opcode == OP_COLOR and len(value) >= 4:
+            self.color = (value[1], value[2], value[3])
+            self.command_log.append(("color", self.color))
+        elif opcode == OP_BRIGHTNESS and len(value) >= 2:
+            self.brightness = value[1]
+            self.command_log.append(("brightness", self.brightness))
+        self.sim.trace.record(self.sim.now, self.name, "bulb-command",
+                              state=self.describe())
+
+    def _read_state(self) -> bytes:
+        return bytes([int(self.is_on), *self.color, self.brightness])
+
+    def describe(self) -> str:
+        """Human-readable state summary."""
+        r, g, b = self.color
+        power = "on" if self.is_on else "off"
+        return f"{power} rgb=({r},{g},{b}) brightness={self.brightness}"
+
+    # ------------------------------------------------------------------
+    # Payload builders (used by examples, experiments and the attacker)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def power_payload(on: bool, pad_to: int = 0) -> bytes:
+        """Control value toggling power, optionally zero-padded."""
+        payload = bytes([OP_POWER, int(on)])
+        return payload + b"\x00" * max(0, pad_to - len(payload))
+
+    @staticmethod
+    def color_payload(r: int, g: int, b: int, pad_to: int = 0) -> bytes:
+        """Control value setting the RGB colour."""
+        payload = bytes([OP_COLOR, r, g, b])
+        return payload + b"\x00" * max(0, pad_to - len(payload))
+
+    @staticmethod
+    def brightness_payload(level: int, pad_to: int = 0) -> bytes:
+        """Control value setting brightness."""
+        payload = bytes([OP_BRIGHTNESS, level])
+        return payload + b"\x00" * max(0, pad_to - len(payload))

@@ -1,0 +1,86 @@
+"""The smartwatch from the paper: receives SMS pushed by the phone.
+
+The phone writes SMS records to a vendor characteristic; the watch
+displays them.  Scenario A injects a forged SMS; Scenario D rewrites a
+legitimate one on the fly (paper §VI).  The SMS wire format here is
+``sender_len | sender | text`` to keep records self-describing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.base import SimulatedPeripheral
+from repro.errors import CodecError
+from repro.host.gatt.attributes import Characteristic, Service
+
+UUID_WATCH_SERVICE = 0xFE20
+UUID_WATCH_SMS = 0xFE21
+UUID_WATCH_STEPS = 0xFE22
+
+
+@dataclass(frozen=True)
+class Sms:
+    """A short message shown on the watch."""
+
+    sender: str
+    text: str
+
+    def to_bytes(self) -> bytes:
+        """Encode as sender_len | sender | text."""
+        sender = self.sender.encode()
+        if len(sender) > 255:
+            raise CodecError("sender too long")
+        return bytes([len(sender)]) + sender + self.text.encode()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Sms":
+        """Decode an SMS record."""
+        if not data:
+            raise CodecError("empty SMS record")
+        sender_len = data[0]
+        if len(data) < 1 + sender_len:
+            raise CodecError("truncated SMS record")
+        return cls(
+            data[1 : 1 + sender_len].decode(errors="replace"),
+            data[1 + sender_len :].decode(errors="replace"),
+        )
+
+
+class Smartwatch(SimulatedPeripheral):
+    """A notification-displaying smartwatch.
+
+    Attributes:
+        inbox: every SMS received, in order.
+        steps: a step counter exposed for reads.
+    """
+
+    def _build_profile(self) -> None:
+        self.inbox: list[Sms] = []
+        self.steps = 4242
+        service = Service(UUID_WATCH_SERVICE)
+        self.sms_char = service.add(
+            Characteristic(UUID_WATCH_SMS, read=False, write=True,
+                           on_write=self._on_sms)
+        )
+        self.steps_char = service.add(
+            Characteristic(UUID_WATCH_STEPS, read=True, notify=True,
+                           on_read=lambda: self.steps.to_bytes(4, "little"))
+        )
+        self.gatt.register(service)
+
+    def _on_sms(self, value: bytes) -> None:
+        try:
+            sms = Sms.from_bytes(value)
+        except CodecError:
+            return
+        self.inbox.append(sms)
+        self.sim.trace.record(self.sim.now, self.name, "sms-displayed",
+                              sender=sms.sender, text=sms.text)
+
+    @property
+    def last_sms(self) -> Sms:
+        """Most recent SMS (raises if the inbox is empty)."""
+        if not self.inbox:
+            raise IndexError("inbox is empty")
+        return self.inbox[-1]

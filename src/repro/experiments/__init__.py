@@ -1,0 +1,21 @@
+"""The paper's sensitivity analysis (§VII) and countermeasure ablations."""
+
+from repro.experiments.common import InjectionTrial, TrialResult, run_trials
+from repro.experiments.hop_interval import HOP_INTERVALS, run_experiment_hop_interval
+from repro.experiments.payload_size import PAYLOAD_SIZES, run_experiment_payload_size
+from repro.experiments.distance import DISTANCE_POSITIONS, run_experiment_distance
+from repro.experiments.wall import WALL_DISTANCES, run_experiment_wall
+
+__all__ = [
+    "DISTANCE_POSITIONS",
+    "HOP_INTERVALS",
+    "InjectionTrial",
+    "PAYLOAD_SIZES",
+    "TrialResult",
+    "WALL_DISTANCES",
+    "run_experiment_distance",
+    "run_experiment_hop_interval",
+    "run_experiment_payload_size",
+    "run_experiment_wall",
+    "run_trials",
+]

@@ -1,0 +1,57 @@
+"""Experiment 3: impact of the attacker distance (paper §VII-C, Fig. 9).
+
+The lightbulb and a smartphone Central (hop interval 36, the phone's
+default) sit 2 m apart; the attacker tries six positions from 1 to 10 m
+from the Peripheral (paper Fig. 8: closer than the Central at A, equal at
+B, further at C-F).  Expected shape: every position still yields a
+successful injection for every connection, with attempt variance growing
+with distance.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.experiments.common import (
+    CONNECTIONS_PER_CONFIG,
+    InjectionTrial,
+    TrialResult,
+    run_trials,
+)
+
+#: Position label → attacker distance from the Peripheral (paper Fig. 8).
+DISTANCE_POSITIONS: dict[str, float] = {
+    "A (1 m)": 1.0,
+    "B (2 m)": 2.0,
+    "C (4 m)": 4.0,
+    "D (6 m)": 6.0,
+    "E (8 m)": 8.0,
+    "F (10 m)": 10.0,
+}
+
+#: The smartphone's default hop interval measured by the paper.
+EXPERIMENT_HOP_INTERVAL = 36
+
+#: 22-byte over-the-air Write Request, as in experiment 1.
+EXPERIMENT_PDU_LEN = 14
+
+
+def run_experiment_distance(
+    base_seed: int = 3,
+    n_connections: int = CONNECTIONS_PER_CONFIG,
+    positions: Mapping[str, float] = None,
+) -> Mapping[str, list[TrialResult]]:
+    """Run the distance sweep; returns results per position label."""
+    if positions is None:
+        positions = DISTANCE_POSITIONS
+    results = {}
+    for index, (label, distance) in enumerate(positions.items()):
+        results[label] = run_trials(
+            base_seed + index * 107,
+            n_connections,
+            lambda seed, d=distance: InjectionTrial(
+                seed=seed, hop_interval=EXPERIMENT_HOP_INTERVAL,
+                pdu_len=EXPERIMENT_PDU_LEN, attacker_distance_m=d,
+            ),
+        )
+    return results

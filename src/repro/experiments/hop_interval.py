@@ -1,0 +1,44 @@
+"""Experiment 1: impact of the Hop Interval (paper §VII-A, Fig. 9).
+
+Six hop intervals from 25 to 150 slots, 25 connections each, injecting the
+22-byte over-the-air Write Request (14-byte PDU) turning the lightbulb off,
+in the 2 m equilateral-triangle setup.  Expected shape: every connection is
+eventually injected, the median attempt count stays below ~4, and the
+variance decreases sharply between 25 and 100 then stabilises.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.experiments.common import (
+    CONNECTIONS_PER_CONFIG,
+    InjectionTrial,
+    TrialResult,
+    run_trials,
+)
+
+#: The paper's tested hop intervals (1.25 ms slots).
+HOP_INTERVALS: tuple[int, ...] = (25, 50, 75, 100, 125, 150)
+
+#: PDU length of the experiment's injected frame (22 bytes over the air).
+EXPERIMENT_PDU_LEN = 14
+
+
+def run_experiment_hop_interval(
+    base_seed: int = 1,
+    n_connections: int = CONNECTIONS_PER_CONFIG,
+    hop_intervals: tuple[int, ...] = HOP_INTERVALS,
+) -> Mapping[int, list[TrialResult]]:
+    """Run the hop-interval sweep; returns results per interval."""
+    results = {}
+    for index, hop in enumerate(hop_intervals):
+        results[hop] = run_trials(
+            base_seed + index * 101,
+            n_connections,
+            lambda seed, h=hop: InjectionTrial(
+                seed=seed, hop_interval=h, pdu_len=EXPERIMENT_PDU_LEN,
+                attacker_distance_m=2.0,
+            ),
+        )
+    return results

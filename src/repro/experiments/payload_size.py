@@ -1,0 +1,45 @@
+"""Experiment 2: impact of the payload size (paper §VII-B, Fig. 9).
+
+Four injected-PDU sizes — 4, 9, 14 and 16 bytes — at a fixed hop interval
+of 75, 25 connections each.  Each size maps to a frame with an observable
+effect on the target (disconnect, power toggle, power off, colour change),
+which lets the experiment cross-check the success heuristic against the
+device state.  Expected shape: reliability increases (attempt counts and
+spread decrease) as the payload shrinks; medians stay at or below ~3.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.experiments.common import (
+    CONNECTIONS_PER_CONFIG,
+    InjectionTrial,
+    TrialResult,
+    run_trials,
+)
+
+#: The paper's tested payload (PDU) sizes in bytes.
+PAYLOAD_SIZES: tuple[int, ...] = (4, 9, 14, 16)
+
+#: Fixed hop interval of experiment 2.
+EXPERIMENT_HOP_INTERVAL = 75
+
+
+def run_experiment_payload_size(
+    base_seed: int = 2,
+    n_connections: int = CONNECTIONS_PER_CONFIG,
+    payload_sizes: tuple[int, ...] = PAYLOAD_SIZES,
+) -> Mapping[int, list[TrialResult]]:
+    """Run the payload-size sweep; returns results per PDU length."""
+    results = {}
+    for index, size in enumerate(payload_sizes):
+        results[size] = run_trials(
+            base_seed + index * 103,
+            n_connections,
+            lambda seed, s=size: InjectionTrial(
+                seed=seed, hop_interval=EXPERIMENT_HOP_INTERVAL, pdu_len=s,
+                attacker_distance_m=2.0,
+            ),
+        )
+    return results

@@ -1,0 +1,159 @@
+"""Scenario end-to-end runners (paper §VI) for benchmarks and the CLI.
+
+Each runner builds a fresh world (victim device + phone + attacker on the
+2 m triangle), executes one scenario, and verifies the *offensive goal*
+rather than just the injection: the feature fired, the impersonation
+served spoofed data, the takeover drove the device, the relay mutated
+traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.attacker import Attacker
+from repro.core.scenarios import (
+    IllegitimateUseScenario,
+    MasterHijackScenario,
+    MitmScenario,
+    SlaveHijackScenario,
+)
+from repro.core.scenarios.scenario_b import hacked_gatt_server
+from repro.devices import Keyfob, Lightbulb, Smartphone, Smartwatch
+from repro.devices.smartwatch import Sms
+from repro.host.att.pdus import ReadByTypeRsp, WriteReq, decode_att_pdu
+from repro.host.gatt.uuids import UUID_DEVICE_NAME
+from repro.host.l2cap import CID_ATT, l2cap_decode, l2cap_encode
+from repro.sim.medium import Medium
+from repro.sim.simulator import Simulator
+from repro.sim.topology import Topology
+
+#: Victim device classes by display name.
+DEVICES = {
+    "lightbulb": Lightbulb,
+    "keyfob": Keyfob,
+    "smartwatch": Smartwatch,
+}
+
+
+def build_world(device_cls, seed: int):
+    """Victim + phone + synchronised attacker, connection established."""
+    sim = Simulator(seed=seed, trace_enabled=False)
+    topo = Topology.equilateral_triangle(("victim", "phone", "attacker"))
+    medium = Medium(sim, topo)
+    victim = device_cls(sim, medium, "victim")
+    victim.ll.readvertise_on_disconnect = False
+    phone = Smartphone(sim, medium, "phone", interval=36)
+    attacker = Attacker(sim, medium, "attacker")
+    attacker.sniff_new_connections()
+    victim.power_on()
+    phone.connect_to(victim.address)
+    sim.run(until_us=1_200_000)
+    assert attacker.synchronized
+    return sim, victim, phone, attacker
+
+
+def feature_write(victim):
+    """(handle, value, check) triggering each device's §VI-A feature."""
+    if isinstance(victim, Lightbulb):
+        return (victim.gatt.find_characteristic(0xFF11).value_handle,
+                Lightbulb.power_payload(False, pad_to=5),
+                lambda: not victim.is_on)
+    if isinstance(victim, Keyfob):
+        return (victim.alert_char.value_handle, Keyfob.ring_payload(),
+                lambda: victim.is_ringing)
+    return (victim.sms_char.value_handle,
+            Sms("Bank", "forged alert").to_bytes(),
+            lambda: bool(victim.inbox))
+
+
+def run_scenario_a(device_cls, seed: int) -> tuple[bool, int]:
+    """Scenario A: inject a feature-triggering ATT request."""
+    sim, victim, phone, attacker = build_world(device_cls, seed)
+    handle, value, check = feature_write(victim)
+    results = []
+    IllegitimateUseScenario(attacker).inject_write(handle, value,
+                                                   on_done=results.append)
+    sim.run(until_us=60_000_000)
+    ok = bool(results and results[0].success and check())
+    return ok, results[0].report.attempts if results else 0
+
+
+def run_scenario_b(device_cls, seed: int) -> tuple[bool, int]:
+    """Scenario B: terminate + impersonate; verify the spoofed name."""
+    sim, victim, phone, attacker = build_world(device_cls, seed)
+    results = []
+    SlaveHijackScenario(attacker, gatt_server=hacked_gatt_server("Hacked")
+                        ).run(on_done=results.append)
+    sim.run(until_us=15_000_000)
+    if not (results and results[0].success):
+        return False, results[0].report.attempts if results else 0
+    names = []
+    phone.host.att.read_by_type(UUID_DEVICE_NAME, names.append)
+    sim.run(until_us=sim.now + 3_000_000)
+    spoofed = bool(names and isinstance(names[0], ReadByTypeRsp)
+                   and names[0].records[0][1] == b"Hacked")
+    ok = spoofed and not victim.ll.is_connected and phone.is_connected
+    return ok, results[0].report.attempts
+
+
+def run_scenario_c(device_cls, seed: int) -> tuple[bool, int]:
+    """Scenario C: forged update takeover; verify the attacker drives."""
+    sim, victim, phone, attacker = build_world(device_cls, seed)
+    results = []
+    MasterHijackScenario(attacker, instant_delta=40).run(
+        on_done=results.append)
+    sim.run(until_us=25_000_000)
+    if not (results and results[0].success):
+        return False, results[0].report.attempts if results else 0
+    handle, value, check = feature_write(victim)
+    results[0].fake_master.queue_att(WriteReq(handle, value).to_bytes())
+    sim.run(until_us=sim.now + 3_000_000)
+    ok = check() and victim.ll.is_connected and not phone.is_connected
+    return ok, results[0].report.attempts
+
+
+def run_scenario_d(device_cls, seed: int) -> tuple[bool, int]:
+    """Scenario D: MitM; verify on-the-fly mutation of relayed writes."""
+    sim, victim, phone, attacker = build_world(device_cls, seed)
+
+    def mutate(frame):
+        try:
+            cid, att = l2cap_decode(frame)
+            pdu = decode_att_pdu(att)
+            if isinstance(pdu, WriteReq):
+                return l2cap_encode(CID_ATT, WriteReq(
+                    pdu.handle, b"\xEE" + pdu.value[1:]).to_bytes())
+        except Exception:
+            pass
+        return frame
+
+    results = []
+    MitmScenario(attacker, master_to_slave=mutate).run(
+        on_done=results.append)
+    sim.run(until_us=15_000_000)
+    if not (results and results[0].success):
+        return False, results[0].report.attempts if results else 0
+    handle, value, _ = feature_write(victim)
+    witness = []
+    char = None
+    for service in victim.gatt.services:
+        for candidate in service.characteristics:
+            if candidate.value_handle == handle:
+                char = candidate
+    assert char is not None
+    char.on_write = witness.append
+    phone.gatt.write(handle, value)
+    sim.run(until_us=sim.now + 6_000_000)
+    mutated = bool(witness and witness[-1][:1] == b"\xEE")
+    ok = mutated and phone.is_connected and victim.ll.is_connected
+    return ok, results[0].report.attempts
+
+
+#: Scenario runners by display name.
+SCENARIOS: dict[str, Callable] = {
+    "A (use feature)": run_scenario_a,
+    "B (slave hijack)": run_scenario_b,
+    "C (master hijack)": run_scenario_c,
+    "D (MitM)": run_scenario_d,
+}

@@ -1,0 +1,27 @@
+"""Host stack: L2CAP framing, ATT protocol, GATT profiles, GAP data, pairing."""
+
+from repro.host.att.client import AttClient
+from repro.host.att.server import Attribute, AttributeDb, AttServer
+from repro.host.gatt.attributes import Characteristic, Service
+from repro.host.gatt.client import GattClient
+from repro.host.gatt.server import GattServer
+from repro.host.gap import AdElement, build_adv_data, parse_adv_data
+from repro.host.l2cap import CID_ATT, CID_SMP, l2cap_decode, l2cap_encode
+
+__all__ = [
+    "AdElement",
+    "AttClient",
+    "AttServer",
+    "Attribute",
+    "AttributeDb",
+    "CID_ATT",
+    "CID_SMP",
+    "Characteristic",
+    "GattClient",
+    "GattServer",
+    "Service",
+    "build_adv_data",
+    "l2cap_decode",
+    "l2cap_encode",
+    "parse_adv_data",
+]

@@ -1,0 +1,6 @@
+"""Attribute Protocol: opcodes, PDU codecs, server and client."""
+
+from repro.host.att.opcodes import AttError as AttErrorCode
+from repro.host.att.opcodes import AttOpcode
+
+__all__ = ["AttErrorCode", "AttOpcode"]

@@ -1,0 +1,44 @@
+"""ATT opcodes and error codes (Core Spec Vol 3 Part F)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class AttOpcode(enum.IntEnum):
+    """Attribute-protocol method opcodes."""
+
+    ERROR_RSP = 0x01
+    EXCHANGE_MTU_REQ = 0x02
+    EXCHANGE_MTU_RSP = 0x03
+    FIND_INFORMATION_REQ = 0x04
+    FIND_INFORMATION_RSP = 0x05
+    READ_BY_TYPE_REQ = 0x08
+    READ_BY_TYPE_RSP = 0x09
+    READ_REQ = 0x0A
+    READ_RSP = 0x0B
+    READ_BY_GROUP_TYPE_REQ = 0x10
+    READ_BY_GROUP_TYPE_RSP = 0x11
+    WRITE_REQ = 0x12
+    WRITE_RSP = 0x13
+    HANDLE_VALUE_NTF = 0x1B
+    HANDLE_VALUE_IND = 0x1D
+    HANDLE_VALUE_CFM = 0x1E
+    WRITE_CMD = 0x52
+
+
+class AttError(enum.IntEnum):
+    """ATT error codes carried in Error Response."""
+
+    INVALID_HANDLE = 0x01
+    READ_NOT_PERMITTED = 0x02
+    WRITE_NOT_PERMITTED = 0x03
+    INVALID_PDU = 0x04
+    INSUFFICIENT_AUTHENTICATION = 0x05
+    REQUEST_NOT_SUPPORTED = 0x06
+    INVALID_OFFSET = 0x07
+    INSUFFICIENT_AUTHORIZATION = 0x08
+    ATTRIBUTE_NOT_FOUND = 0x0A
+    INSUFFICIENT_ENCRYPTION = 0x0F
+    UNLIKELY_ERROR = 0x0E
+    INVALID_ATTRIBUTE_VALUE_LENGTH = 0x0D

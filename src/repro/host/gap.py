@@ -1,0 +1,76 @@
+"""GAP advertising data: AD structure codec.
+
+Advertising payloads are sequences of ``length | type | data`` structures.
+The sniffer parses them to identify target devices by name, exactly as the
+paper's attack tooling identifies the lightbulb/keyfob/smartwatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CodecError
+
+#: AD type: Flags.
+AD_FLAGS = 0x01
+#: AD type: Complete Local Name.
+AD_COMPLETE_LOCAL_NAME = 0x09
+#: AD type: Shortened Local Name.
+AD_SHORTENED_LOCAL_NAME = 0x08
+#: AD type: Complete list of 16-bit service UUIDs.
+AD_COMPLETE_16BIT_UUIDS = 0x03
+#: AD type: TX Power Level.
+AD_TX_POWER = 0x0A
+
+
+@dataclass(frozen=True)
+class AdElement:
+    """One AD structure."""
+
+    ad_type: int
+    data: bytes
+
+    def to_bytes(self) -> bytes:
+        """Encode as length | type | data."""
+        if len(self.data) + 1 > 255:
+            raise CodecError("AD structure too long")
+        return bytes([len(self.data) + 1, self.ad_type]) + self.data
+
+
+def build_adv_data(*elements: AdElement) -> bytes:
+    """Concatenate AD structures into an AdvData payload (max 31 bytes)."""
+    out = b"".join(e.to_bytes() for e in elements)
+    if len(out) > 31:
+        raise CodecError(f"AdvData too long: {len(out)} bytes")
+    return out
+
+
+def adv_data_with_name(name: str, flags: int = 0x06) -> bytes:
+    """Convenience: Flags + Complete Local Name."""
+    return build_adv_data(
+        AdElement(AD_FLAGS, bytes([flags])),
+        AdElement(AD_COMPLETE_LOCAL_NAME, name.encode()),
+    )
+
+
+def parse_adv_data(data: bytes) -> list[AdElement]:
+    """Parse an AdvData payload into AD structures."""
+    elements = []
+    i = 0
+    while i < len(data):
+        length = data[i]
+        if length == 0:
+            break
+        if i + 1 + length > len(data):
+            raise CodecError("truncated AD structure")
+        elements.append(AdElement(data[i + 1], data[i + 2 : i + 1 + length]))
+        i += 1 + length
+    return elements
+
+
+def local_name_of(data: bytes) -> str:
+    """Extract the (complete or shortened) local name, or ``""``."""
+    for element in parse_adv_data(data):
+        if element.ad_type in (AD_COMPLETE_LOCAL_NAME, AD_SHORTENED_LOCAL_NAME):
+            return element.data.decode(errors="replace")
+    return ""

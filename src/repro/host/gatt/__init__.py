@@ -1,0 +1,26 @@
+"""GATT: services, characteristics and the server/client built on ATT."""
+
+from repro.host.gatt.attributes import Characteristic, Service
+from repro.host.gatt.client import GattClient
+from repro.host.gatt.server import GattServer
+from repro.host.gatt.uuids import (
+    UUID_BATTERY_SERVICE,
+    UUID_CCCD,
+    UUID_CHARACTERISTIC,
+    UUID_DEVICE_NAME,
+    UUID_GAP_SERVICE,
+    UUID_PRIMARY_SERVICE,
+)
+
+__all__ = [
+    "Characteristic",
+    "GattClient",
+    "GattServer",
+    "Service",
+    "UUID_BATTERY_SERVICE",
+    "UUID_CCCD",
+    "UUID_CHARACTERISTIC",
+    "UUID_DEVICE_NAME",
+    "UUID_GAP_SERVICE",
+    "UUID_PRIMARY_SERVICE",
+]

@@ -1,0 +1,106 @@
+"""GATT schema objects: services and characteristics.
+
+A :class:`Service` groups :class:`Characteristic` objects; the GATT server
+flattens them into the ATT database in specification order (service
+declaration, then per characteristic: declaration, value, optional CCCD).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import HostError
+from repro.host.gatt.uuids import (
+    PROP_INDICATE,
+    PROP_NOTIFY,
+    PROP_READ,
+    PROP_WRITE,
+    PROP_WRITE_NO_RSP,
+)
+
+#: Application hook invoked when a characteristic value is written.
+CharWriteHook = Callable[[bytes], None]
+#: Application hook producing a characteristic value on read.
+CharReadHook = Callable[[], bytes]
+
+
+@dataclass
+class Characteristic:
+    """A GATT characteristic.
+
+    Attributes:
+        uuid: 16-bit characteristic UUID.
+        value: initial value.
+        read / write / write_no_rsp / notify / indicate: property flags.
+        on_write: application hook for writes (after the value updates).
+        on_read: application hook producing the value for reads.
+        value_handle: assigned when the service is registered.
+        cccd_handle: handle of the CCCD, when notify/indicate is set.
+    """
+
+    uuid: int
+    value: bytes = b""
+    read: bool = True
+    write: bool = False
+    write_no_rsp: bool = False
+    notify: bool = False
+    indicate: bool = False
+    on_write: Optional[CharWriteHook] = None
+    on_read: Optional[CharReadHook] = None
+    value_handle: int = 0
+    cccd_handle: int = 0
+
+    @property
+    def properties(self) -> int:
+        """The property bit field of the declaration attribute."""
+        props = 0
+        if self.read:
+            props |= PROP_READ
+        if self.write:
+            props |= PROP_WRITE
+        if self.write_no_rsp:
+            props |= PROP_WRITE_NO_RSP
+        if self.notify:
+            props |= PROP_NOTIFY
+        if self.indicate:
+            props |= PROP_INDICATE
+        return props
+
+    @property
+    def writable(self) -> bool:
+        """Whether any write property is set."""
+        return self.write or self.write_no_rsp
+
+    def declaration_value(self) -> bytes:
+        """Value bytes of the 0x2803 declaration attribute."""
+        if self.value_handle == 0:
+            raise HostError(f"characteristic 0x{self.uuid:04X} not registered")
+        return (bytes([self.properties])
+                + self.value_handle.to_bytes(2, "little")
+                + self.uuid.to_bytes(2, "little"))
+
+
+@dataclass
+class Service:
+    """A GATT primary service.
+
+    Attributes:
+        uuid: 16-bit service UUID.
+        characteristics: contained characteristics, declaration order.
+    """
+
+    uuid: int
+    characteristics: list[Characteristic] = field(default_factory=list)
+
+    def add(self, characteristic: Characteristic) -> Characteristic:
+        """Append a characteristic and return it."""
+        self.characteristics.append(characteristic)
+        return characteristic
+
+    def find(self, uuid: int) -> Optional[Characteristic]:
+        """First characteristic with the given UUID, or ``None``."""
+        for char in self.characteristics:
+            if char.uuid == uuid:
+                return char
+        return None

@@ -1,0 +1,30 @@
+"""Assigned 16-bit UUIDs used by the simulated devices."""
+
+from __future__ import annotations
+
+#: Attribute type of a primary service declaration.
+UUID_PRIMARY_SERVICE = 0x2800
+#: Attribute type of a characteristic declaration.
+UUID_CHARACTERISTIC = 0x2803
+#: Client Characteristic Configuration Descriptor.
+UUID_CCCD = 0x2902
+
+#: Generic Access Profile service.
+UUID_GAP_SERVICE = 0x1800
+#: Device Name characteristic (the one Scenario B spoofs as "Hacked").
+UUID_DEVICE_NAME = 0x2A00
+#: Appearance characteristic.
+UUID_APPEARANCE = 0x2A01
+#: Battery service / level.
+UUID_BATTERY_SERVICE = 0x180F
+UUID_BATTERY_LEVEL = 0x2A19
+#: Immediate Alert service (keyfobs) and Alert Level characteristic.
+UUID_IMMEDIATE_ALERT_SERVICE = 0x1802
+UUID_ALERT_LEVEL = 0x2A06
+
+#: Characteristic property bits (in the declaration value).
+PROP_READ = 0x02
+PROP_WRITE_NO_RSP = 0x04
+PROP_WRITE = 0x08
+PROP_NOTIFY = 0x10
+PROP_INDICATE = 0x20

@@ -1,0 +1,39 @@
+"""Minimal L2CAP: the basic-mode framing that carries ATT and SMP.
+
+A B-frame is ``length (2) | channel id (2) | payload``.  ATT rides on CID
+0x0004, the Security Manager on CID 0x0006.  Fragmentation across link
+packets is not modelled: the simulation keeps ATT payloads within a single
+LL PDU, as the paper's injected frames do.
+"""
+
+from __future__ import annotations
+
+from repro.errors import HostError
+
+#: Channel id of the Attribute Protocol.
+CID_ATT = 0x0004
+#: Channel id of the Security Manager Protocol.
+CID_SMP = 0x0006
+
+
+def l2cap_encode(cid: int, payload: bytes) -> bytes:
+    """Wrap ``payload`` in a basic L2CAP frame for channel ``cid``."""
+    if not 0 <= cid < 1 << 16:
+        raise HostError(f"invalid L2CAP CID: {cid:#x}")
+    if len(payload) >= 1 << 16:
+        raise HostError(f"L2CAP payload too long: {len(payload)}")
+    return len(payload).to_bytes(2, "little") + cid.to_bytes(2, "little") + payload
+
+
+def l2cap_decode(frame: bytes) -> tuple[int, bytes]:
+    """Unwrap a basic L2CAP frame; returns ``(cid, payload)``."""
+    if len(frame) < 4:
+        raise HostError(f"L2CAP frame too short: {len(frame)} bytes")
+    length = int.from_bytes(frame[0:2], "little")
+    cid = int.from_bytes(frame[2:4], "little")
+    payload = frame[4:]
+    if len(payload) != length:
+        raise HostError(
+            f"L2CAP length mismatch: header {length}, payload {len(payload)}"
+        )
+    return cid, payload

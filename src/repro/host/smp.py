@@ -1,0 +1,186 @@
+"""Security Manager Protocol: legacy Just-Works pairing (simplified flow).
+
+Runs over L2CAP CID 0x0006.  The initiator and responder exchange Pairing
+Request/Response, confirm values (``c1``) and randoms, then derive the STK
+with ``s1``.  With Just Works the TK is all zeros — which is why Ryan's
+CRACKLE could brute-force sniffed pairings, and why the paper recommends
+real pairing + encryption as the countermeasure that at least degrades
+InjectaBLE to denial of service.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.crypto.pairing import c1, s1
+from repro.errors import SecurityError
+
+#: SMP opcode bytes.
+OP_PAIRING_REQUEST = 0x01
+OP_PAIRING_RESPONSE = 0x02
+OP_PAIRING_CONFIRM = 0x03
+OP_PAIRING_RANDOM = 0x04
+OP_PAIRING_FAILED = 0x05
+
+
+@dataclass(frozen=True)
+class PairingFeatures:
+    """The 6 feature bytes of Pairing Request/Response.
+
+    Attributes:
+        io_capability: 0x03 = NoInputNoOutput (forces Just Works).
+        oob: out-of-band flag.
+        auth_req: bonding/MITM flags.
+        max_key_size: encryption key size (paper: KNOB attacks this).
+        initiator_keys / responder_keys: key-distribution masks.
+    """
+
+    io_capability: int = 0x03
+    oob: int = 0x00
+    auth_req: int = 0x01
+    max_key_size: int = 16
+    initiator_keys: int = 0x00
+    responder_keys: int = 0x00
+
+    def to_bytes(self, opcode: int) -> bytes:
+        """Encode as a 7-byte pairing PDU under ``opcode``."""
+        return bytes([
+            opcode, self.io_capability, self.oob, self.auth_req,
+            self.max_key_size, self.initiator_keys, self.responder_keys,
+        ])
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PairingFeatures":
+        """Decode a 7-byte pairing PDU."""
+        if len(data) != 7:
+            raise SecurityError(f"pairing PDU must be 7 bytes, got {len(data)}")
+        return cls(io_capability=data[1], oob=data[2], auth_req=data[3],
+                   max_key_size=data[4], initiator_keys=data[5],
+                   responder_keys=data[6])
+
+
+class PairingState(enum.Enum):
+    """Progress of the pairing exchange."""
+
+    IDLE = "idle"
+    FEATURES = "features"
+    CONFIRM = "confirm"
+    RANDOM = "random"
+    DONE = "done"
+    FAILED = "failed"
+
+
+class SecurityManager:
+    """One side of a legacy Just-Works pairing.
+
+    Args:
+        send: delivers raw SMP bytes to the peer (over L2CAP CID 6).
+        is_initiator: Master side when True.
+        local_addr / peer_addr: 6-byte little-endian addresses (c1 inputs).
+        rng: randomness source for the pairing random.
+        tk: 16-byte temporary key; zeros = Just Works.
+    """
+
+    def __init__(
+        self,
+        send: Callable[[bytes], None],
+        is_initiator: bool,
+        local_addr: bytes,
+        peer_addr: bytes,
+        rng: Optional[np.random.Generator] = None,
+        tk: bytes = b"\x00" * 16,
+    ):
+        self._send = send
+        self.is_initiator = is_initiator
+        self.local_addr = local_addr
+        self.peer_addr = peer_addr
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.tk = tk
+        self.state = PairingState.IDLE
+        self.stk: Optional[bytes] = None
+        self.on_complete: Optional[Callable[[bytes], None]] = None
+        self._local_random = bytes(self._rng.integers(0, 256, 16, dtype=np.uint8))
+        self._peer_confirm: Optional[bytes] = None
+        self._peer_random: Optional[bytes] = None
+        self._preq: Optional[bytes] = None
+        self._pres: Optional[bytes] = None
+        self.features = PairingFeatures()
+
+    # ------------------------------------------------------------------
+    # Flow
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Initiator entry point: send Pairing Request."""
+        if not self.is_initiator:
+            raise SecurityError("only the initiator starts pairing")
+        self._preq = self.features.to_bytes(OP_PAIRING_REQUEST)
+        self.state = PairingState.FEATURES
+        self._send(self._preq)
+
+    def _confirm_value(self, rand: bytes) -> bytes:
+        # c1 expects MSB-first quantities; PDUs and addresses are held in
+        # on-wire (LSB-first) order here, so reverse them.
+        assert self._preq is not None and self._pres is not None
+        ia, ra = (self.local_addr, self.peer_addr) if self.is_initiator else (
+            self.peer_addr, self.local_addr)
+        return c1(self.tk, rand, self._preq[::-1], self._pres[::-1], 0, 0,
+                  ia[::-1], ra[::-1])
+
+    def on_pdu(self, data: bytes) -> None:
+        """Feed one incoming SMP PDU."""
+        if not data:
+            return
+        opcode = data[0]
+        if opcode == OP_PAIRING_REQUEST and not self.is_initiator:
+            self._preq = data
+            self._pres = self.features.to_bytes(OP_PAIRING_RESPONSE)
+            self.state = PairingState.CONFIRM
+            self._send(self._pres)
+        elif opcode == OP_PAIRING_RESPONSE and self.is_initiator:
+            self._pres = data
+            self.state = PairingState.CONFIRM
+            confirm = self._confirm_value(self._local_random)
+            self._send(bytes([OP_PAIRING_CONFIRM]) + confirm)
+        elif opcode == OP_PAIRING_CONFIRM:
+            self._peer_confirm = data[1:]
+            if self.is_initiator:
+                # Initiator already sent its confirm; reveal the random.
+                self.state = PairingState.RANDOM
+                self._send(bytes([OP_PAIRING_RANDOM]) + self._local_random)
+            else:
+                confirm = self._confirm_value(self._local_random)
+                self._send(bytes([OP_PAIRING_CONFIRM]) + confirm)
+        elif opcode == OP_PAIRING_RANDOM:
+            self._peer_random = data[1:]
+            if not self._verify_peer():
+                self.state = PairingState.FAILED
+                self._send(bytes([OP_PAIRING_FAILED, 0x04]))
+                return
+            if not self.is_initiator:
+                self._send(bytes([OP_PAIRING_RANDOM]) + self._local_random)
+            self._finish()
+        elif opcode == OP_PAIRING_FAILED:
+            self.state = PairingState.FAILED
+
+    def _verify_peer(self) -> bool:
+        assert self._peer_random is not None
+        if self._peer_confirm is None:
+            return False
+        expected = self._confirm_value(self._peer_random)
+        return expected == self._peer_confirm
+
+    def _finish(self) -> None:
+        assert self._peer_random is not None
+        if self.is_initiator:
+            srand, mrand = self._peer_random, self._local_random
+        else:
+            srand, mrand = self._local_random, self._peer_random
+        self.stk = s1(self.tk, srand, mrand)
+        self.state = PairingState.DONE
+        if self.on_complete is not None:
+            self.on_complete(self.stk)

@@ -1,0 +1,135 @@
+"""Host glue: binds a Link-Layer device to GATT and the Security Manager.
+
+:class:`PeripheralHost` owns a GATT server over a Slave LL;
+:class:`CentralHost` owns a GATT client over a Master LL.  Both route
+L2CAP channels (ATT on CID 4, SMP on CID 6) and expose pairing that ends
+with link encryption enabled, reproducing the paper's recommended
+countermeasure configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.host.att.client import AttClient
+from repro.host.gatt.client import GattClient
+from repro.host.gatt.server import GattServer
+from repro.host.l2cap import CID_ATT, CID_SMP, l2cap_decode, l2cap_encode
+from repro.host.smp import SecurityManager
+from repro.ll.master import MasterLinkLayer
+from repro.ll.slave import SlaveLinkLayer
+
+
+class PeripheralHost:
+    """GATT server + SMP responder over a Slave Link Layer.
+
+    Args:
+        ll: the Slave Link-Layer device.
+        gatt: the GATT server to expose (its transport is wired here).
+    """
+
+    def __init__(self, ll: SlaveLinkLayer, gatt: GattServer):
+        self.ll = ll
+        self.gatt = gatt
+        self.gatt.send = self.send_att
+        self.ll.on_data = self._on_l2cap
+        self.smp: Optional[SecurityManager] = None
+        #: Called with the STK when pairing completes.
+        self.on_paired: Optional[Callable[[bytes], None]] = None
+
+    def send_att(self, att_bytes: bytes) -> None:
+        """Queue an ATT PDU toward the Central."""
+        self.ll.send_data(l2cap_encode(CID_ATT, att_bytes))
+
+    def send_smp(self, smp_bytes: bytes) -> None:
+        """Queue an SMP PDU toward the Central."""
+        self.ll.send_data(l2cap_encode(CID_SMP, smp_bytes))
+
+    def _on_l2cap(self, frame: bytes) -> None:
+        try:
+            cid, payload = l2cap_decode(frame)
+        except Exception:
+            return
+        if cid == CID_ATT:
+            response = self.gatt.handle_request(payload)
+            if response is not None:
+                self.send_att(response)
+        elif cid == CID_SMP:
+            self._on_smp(payload)
+
+    def _on_smp(self, payload: bytes) -> None:
+        if self.smp is None:
+            peer = (self.ll.peer_address.to_bytes()
+                    if self.ll.peer_address is not None else b"\x00" * 6)
+            self.smp = SecurityManager(
+                send=self.send_smp,
+                is_initiator=False,
+                local_addr=self.ll.address.to_bytes(),
+                peer_addr=peer,
+                rng=self.ll.sim.streams.get(f"smp-{self.ll.name}"),
+            )
+            self.smp.on_complete = self._on_stk
+        self.smp.on_pdu(payload)
+
+    def _on_stk(self, stk: bytes) -> None:
+        # The STK becomes the key LL_ENC_REQ will reference.
+        self.ll.ltk = stk
+        if self.on_paired is not None:
+            self.on_paired(stk)
+
+
+class CentralHost:
+    """GATT client + SMP initiator over a Master Link Layer.
+
+    Args:
+        ll: the Master Link-Layer device.
+    """
+
+    def __init__(self, ll: MasterLinkLayer):
+        self.ll = ll
+        self.att = AttClient(send=self.send_att)
+        self.gatt = GattClient(self.att)
+        self.ll.on_data = self._on_l2cap
+        self.smp: Optional[SecurityManager] = None
+        #: Called with the STK when pairing completes.
+        self.on_paired: Optional[Callable[[bytes], None]] = None
+        self._encrypt_after_pairing = True
+
+    def send_att(self, att_bytes: bytes) -> None:
+        """Queue an ATT PDU toward the Peripheral."""
+        self.ll.send_data(l2cap_encode(CID_ATT, att_bytes))
+
+    def send_smp(self, smp_bytes: bytes) -> None:
+        """Queue an SMP PDU toward the Peripheral."""
+        self.ll.send_data(l2cap_encode(CID_SMP, smp_bytes))
+
+    def pair(self, encrypt: bool = True) -> None:
+        """Run Just-Works legacy pairing; optionally start encryption."""
+        self._encrypt_after_pairing = encrypt
+        peer = (self.ll.peer_address.to_bytes()
+                if self.ll.peer_address is not None else b"\x00" * 6)
+        self.smp = SecurityManager(
+            send=self.send_smp,
+            is_initiator=True,
+            local_addr=self.ll.address.to_bytes(),
+            peer_addr=peer,
+            rng=self.ll.sim.streams.get(f"smp-{self.ll.name}"),
+        )
+        self.smp.on_complete = self._on_stk
+        self.smp.start()
+
+    def _on_stk(self, stk: bytes) -> None:
+        if self._encrypt_after_pairing:
+            self.ll.start_encryption(stk)
+        if self.on_paired is not None:
+            self.on_paired(stk)
+
+    def _on_l2cap(self, frame: bytes) -> None:
+        try:
+            cid, payload = l2cap_decode(frame)
+        except Exception:
+            return
+        if cid == CID_ATT:
+            self.att.on_pdu(payload)
+        elif cid == CID_SMP and self.smp is not None:
+            self.smp.on_pdu(payload)

@@ -1,0 +1,30 @@
+"""BLE Link Layer: PDUs, channel selection, timing, connection state machines."""
+
+from repro.ll.access_address import (
+    ADVERTISING_ACCESS_ADDRESS,
+    generate_access_address,
+    is_valid_access_address,
+)
+from repro.ll.connection import ConnectionParams, ConnectionState
+from repro.ll.csa1 import Csa1
+from repro.ll.csa2 import Csa2
+from repro.ll.timing import (
+    anchor_after,
+    receive_window,
+    transmit_window,
+    window_widening_us,
+)
+
+__all__ = [
+    "ADVERTISING_ACCESS_ADDRESS",
+    "ConnectionParams",
+    "ConnectionState",
+    "Csa1",
+    "Csa2",
+    "anchor_after",
+    "generate_access_address",
+    "is_valid_access_address",
+    "receive_window",
+    "transmit_window",
+    "window_widening_us",
+]

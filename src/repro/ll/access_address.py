@@ -1,0 +1,69 @@
+"""Access-address generation and validation.
+
+Every frame of a connection carries the 32-bit access address chosen by the
+initiator in CONNECT_REQ.  The Core Specification constrains valid
+addresses so receivers can correlate reliably; sniffers exploit the same
+rules to spot candidate addresses of connections whose setup they missed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import LinkLayerError
+
+#: Fixed access address of all advertising-channel traffic.
+ADVERTISING_ACCESS_ADDRESS = 0x8E89BED6
+
+
+def _bits(value: int) -> list[int]:
+    return [(value >> i) & 1 for i in range(32)]
+
+
+def is_valid_access_address(aa: int) -> bool:
+    """Check the Core Specification constraints for a data-channel AA.
+
+    Rules (Vol 6 Part B §2.1.2):
+      * not the advertising access address, nor one bit away from it;
+      * no more than six consecutive zeros or ones;
+      * not all four bytes equal;
+      * the four most significant bits must not all be the same as each
+        other's neighbour transitions — specifically, at least two
+        transitions in the six most significant bits.
+    """
+    if not 0 <= aa < 1 << 32:
+        return False
+    if aa == ADVERTISING_ACCESS_ADDRESS:
+        return False
+    if bin(aa ^ ADVERTISING_ACCESS_ADDRESS).count("1") == 1:
+        return False
+    bits = _bits(aa)
+    run = 1
+    for i in range(1, 32):
+        run = run + 1 if bits[i] == bits[i - 1] else 1
+        if run > 6:
+            return False
+    b = aa.to_bytes(4, "little")
+    if b[0] == b[1] == b[2] == b[3]:
+        return False
+    # At least two transitions in the six most significant bits.
+    msb_bits = bits[26:32]
+    transitions = sum(
+        1 for i in range(1, len(msb_bits)) if msb_bits[i] != msb_bits[i - 1]
+    )
+    if transitions < 2:
+        return False
+    return True
+
+
+def generate_access_address(rng: Optional[np.random.Generator] = None,
+                            max_tries: int = 1000) -> int:
+    """Draw a random access address satisfying the specification rules."""
+    gen = rng if rng is not None else np.random.default_rng()
+    for _ in range(max_tries):
+        aa = int(gen.integers(0, 1 << 32, dtype=np.uint64))
+        if is_valid_access_address(aa):
+            return aa
+    raise LinkLayerError("could not generate a valid access address")

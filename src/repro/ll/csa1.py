@@ -1,0 +1,93 @@
+"""Channel Selection Algorithm #1.
+
+CSA#1 hops by modular addition: ``unmapped = (last + hopIncrement) mod 37``.
+If the unmapped channel is marked *unused* in the channel map, it is
+remapped onto the table of used channels by ``unmapped mod numUsed``.
+
+The paper's attack assumes CSA#1 (§III-B3), the most common algorithm; the
+sniffer predicts the hop sequence from the CONNECT_REQ parameters (or infers
+them when the CONNECT_REQ was missed).
+"""
+
+from __future__ import annotations
+
+from repro.errors import LinkLayerError
+
+NUM_DATA_CHANNELS = 37
+
+
+def channel_map_to_used(channel_map: int) -> list[int]:
+    """Expand a 37-bit channel-map bitmask into the sorted used-channel list."""
+    if not 0 <= channel_map < 1 << NUM_DATA_CHANNELS:
+        raise LinkLayerError(f"channel map out of range: {channel_map:#x}")
+    used = [ch for ch in range(NUM_DATA_CHANNELS) if (channel_map >> ch) & 1]
+    if not used:
+        raise LinkLayerError("channel map has no used channels")
+    return used
+
+
+class Csa1:
+    """Stateful CSA#1 hop sequence generator.
+
+    Args:
+        hop_increment: 5-bit hop increment from CONNECT_REQ (5-16 valid).
+        channel_map: 37-bit bitmask of used data channels.
+        last_unmapped: starting point; 0 for a fresh connection.
+
+    Example:
+        >>> csa = Csa1(hop_increment=7, channel_map=(1 << 37) - 1)
+        >>> csa.next_channel()
+        7
+        >>> csa.next_channel()
+        14
+    """
+
+    def __init__(self, hop_increment: int, channel_map: int = (1 << 37) - 1,
+                 last_unmapped: int = 0):
+        if not 5 <= hop_increment <= 16:
+            raise LinkLayerError(
+                f"hop increment must be 5-16, got {hop_increment}"
+            )
+        self.hop_increment = hop_increment
+        self._last_unmapped = last_unmapped % NUM_DATA_CHANNELS
+        self.set_channel_map(channel_map)
+
+    @property
+    def last_unmapped(self) -> int:
+        """The unmapped channel of the most recent hop."""
+        return self._last_unmapped
+
+    def set_channel_map(self, channel_map: int) -> None:
+        """Apply a (possibly updated) channel map."""
+        self._channel_map = channel_map
+        self._used = channel_map_to_used(channel_map)
+
+    @property
+    def channel_map(self) -> int:
+        """Current 37-bit channel map."""
+        return self._channel_map
+
+    def next_channel(self) -> int:
+        """Advance one connection event and return the mapped channel."""
+        self._last_unmapped = (
+            self._last_unmapped + self.hop_increment
+        ) % NUM_DATA_CHANNELS
+        return self._map(self._last_unmapped)
+
+    def peek_channel(self, events_ahead: int = 1) -> int:
+        """Channel that will be used ``events_ahead`` events from now."""
+        if events_ahead < 1:
+            raise LinkLayerError(f"events_ahead must be >= 1: {events_ahead}")
+        unmapped = (
+            self._last_unmapped + events_ahead * self.hop_increment
+        ) % NUM_DATA_CHANNELS
+        return self._map(unmapped)
+
+    def _map(self, unmapped: int) -> int:
+        if (self._channel_map >> unmapped) & 1:
+            return unmapped
+        return self._used[unmapped % len(self._used)]
+
+    def clone(self) -> "Csa1":
+        """Independent copy with identical state (used by the sniffer)."""
+        return Csa1(self.hop_increment, self._channel_map, self._last_unmapped)

@@ -1,0 +1,87 @@
+"""Channel Selection Algorithm #2 (BLE 5.0).
+
+CSA#2 derives each event's channel from the 16-bit connection event counter
+and a *channel identifier* computed from the access address, through a
+cascade of three 16-bit permutation/MAM (multiply-add-modulo) rounds.  It
+is stateless in the event counter, which is why Cauquil's DEF CON 27 work
+("Defeating Bluetooth Low Energy 5 PRNG") could still predict it — the
+generator is a PRNG keyed only by public values.
+
+Implemented per Core Spec v5.x Vol 6 Part B §4.5.8.3.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LinkLayerError
+from repro.ll.csa1 import NUM_DATA_CHANNELS, channel_map_to_used
+
+
+def _perm(v: int) -> int:
+    """Bit-reverse each of the two bytes of a 16-bit value."""
+    out = 0
+    for byte_idx in range(2):
+        byte = (v >> (8 * byte_idx)) & 0xFF
+        rev = 0
+        for bit in range(8):
+            rev |= ((byte >> bit) & 1) << (7 - bit)
+        out |= rev << (8 * byte_idx)
+    return out
+
+
+def _mam(a: int, b: int) -> int:
+    """Multiply-add-modulo round: ``(a * 17 + b) mod 2^16``."""
+    return (a * 17 + b) & 0xFFFF
+
+
+def channel_identifier(access_address: int) -> int:
+    """The 16-bit channel identifier: AA's halves XORed together."""
+    if not 0 <= access_address < 1 << 32:
+        raise LinkLayerError(f"access address out of range: {access_address:#x}")
+    return ((access_address >> 16) ^ (access_address & 0xFFFF)) & 0xFFFF
+
+
+def _prn_e(event_counter: int, ch_id: int) -> int:
+    """The pseudo-random number prn_e for a given event counter."""
+    prn = event_counter ^ ch_id
+    for _ in range(3):
+        prn = _mam(_perm(prn), ch_id)
+    return prn ^ ch_id
+
+
+class Csa2:
+    """Stateless CSA#2 channel computation.
+
+    Args:
+        access_address: connection access address (keys the PRNG).
+        channel_map: 37-bit used-channel bitmask.
+
+    Example:
+        >>> csa = Csa2(0x8E89BED6 ^ 0x5A5A5A5A, (1 << 37) - 1)
+        >>> 0 <= csa.channel_for_event(0) < 37
+        True
+    """
+
+    def __init__(self, access_address: int, channel_map: int = (1 << 37) - 1):
+        self._ch_id = channel_identifier(access_address)
+        self.set_channel_map(channel_map)
+
+    def set_channel_map(self, channel_map: int) -> None:
+        """Apply a (possibly updated) channel map."""
+        self._channel_map = channel_map
+        self._used = channel_map_to_used(channel_map)
+
+    @property
+    def channel_map(self) -> int:
+        """Current 37-bit channel map."""
+        return self._channel_map
+
+    def channel_for_event(self, event_counter: int) -> int:
+        """Data channel used at the given connection event counter."""
+        if not 0 <= event_counter < 1 << 16:
+            raise LinkLayerError(f"event counter out of range: {event_counter}")
+        prn_e = _prn_e(event_counter, self._ch_id)
+        unmapped = prn_e % NUM_DATA_CHANNELS
+        if (self._channel_map >> unmapped) & 1:
+            return unmapped
+        remap_index = (len(self._used) * prn_e) >> 16
+        return self._used[remap_index]

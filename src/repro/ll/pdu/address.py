@@ -1,0 +1,65 @@
+"""Bluetooth device addresses (BD_ADDR)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import CodecError
+
+
+@dataclass(frozen=True)
+class BdAddress:
+    """A 48-bit Bluetooth device address.
+
+    Attributes:
+        value: the address as an integer (0 <= value < 2^48).
+        random: whether this is a random (vs public) address; carried in the
+            TxAdd/RxAdd bits of advertising PDU headers.
+    """
+
+    value: int
+    random: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < 1 << 48:
+            raise CodecError(f"BD_ADDR out of range: {self.value:#x}")
+
+    @classmethod
+    def from_bytes(cls, data: bytes, random: bool = False) -> "BdAddress":
+        """Decode 6 little-endian bytes (on-air order)."""
+        if len(data) != 6:
+            raise CodecError(f"BD_ADDR must be 6 bytes, got {len(data)}")
+        return cls(int.from_bytes(data, "little"), random)
+
+    @classmethod
+    def from_str(cls, text: str, random: bool = False) -> "BdAddress":
+        """Parse the canonical ``AA:BB:CC:DD:EE:FF`` form."""
+        parts = text.split(":")
+        if len(parts) != 6 or not all(len(p) == 2 for p in parts):
+            raise CodecError(f"malformed BD_ADDR string: {text!r}")
+        try:
+            raw = bytes(int(p, 16) for p in parts)
+        except ValueError:
+            raise CodecError(f"malformed BD_ADDR string: {text!r}") from None
+        return cls(int.from_bytes(raw, "big"), random)
+
+    @classmethod
+    def generate(cls, rng: Optional[np.random.Generator] = None,
+                 random: bool = True) -> "BdAddress":
+        """Draw a random address (static-random style: top two bits set)."""
+        gen = rng if rng is not None else np.random.default_rng()
+        value = int(gen.integers(0, 1 << 48, dtype=np.uint64))
+        if random:
+            value |= 0b11 << 46
+        return cls(value, random)
+
+    def to_bytes(self) -> bytes:
+        """Encode as 6 little-endian bytes (on-air order)."""
+        return self.value.to_bytes(6, "little")
+
+    def __str__(self) -> str:
+        raw = self.value.to_bytes(6, "big")
+        return ":".join(f"{b:02X}" for b in raw)

@@ -1,0 +1,252 @@
+"""Advertising-channel PDUs, including CONNECT_REQ (paper Table II).
+
+The advertising header byte carries the PDU type (4 bits), TxAdd and RxAdd
+flags; byte 1 is the length.  CONNECT_REQ's LLData block is where every
+connection parameter the attack needs originates: access address, CRCInit,
+WinSize/WinOffset, Hop Interval, Slave latency, supervision timeout,
+channel map, hop increment and the Master's SCA.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import CodecError
+from repro.ll.pdu.address import BdAddress
+from repro.utils.bits import bytes_to_int_le, int_to_bytes_le
+
+
+class AdvPduType(enum.IntEnum):
+    """Advertising-channel PDU types."""
+
+    ADV_IND = 0b0000
+    ADV_DIRECT_IND = 0b0001
+    ADV_NONCONN_IND = 0b0010
+    SCAN_REQ = 0b0011
+    SCAN_RSP = 0b0100
+    CONNECT_REQ = 0b0101
+    ADV_SCAN_IND = 0b0110
+
+
+def _header(pdu_type: AdvPduType, length: int, tx_add: bool, rx_add: bool) -> bytes:
+    if not 0 <= length <= 255:
+        raise CodecError(f"advertising payload too long: {length}")
+    byte0 = int(pdu_type) | (int(tx_add) << 6) | (int(rx_add) << 7)
+    return bytes((byte0, length))
+
+
+@dataclass(frozen=True)
+class AdvInd:
+    """ADV_IND: connectable undirected advertisement.
+
+    Attributes:
+        adv_addr: advertiser's device address.
+        adv_data: AD structures (name, flags, ...), up to 31 bytes.
+    """
+
+    adv_addr: BdAddress
+    adv_data: bytes = b""
+
+    def __post_init__(self) -> None:
+        if len(self.adv_data) > 31:
+            raise CodecError(f"AdvData too long: {len(self.adv_data)}")
+
+    def to_bytes(self) -> bytes:
+        """Full advertising PDU bytes."""
+        body = self.adv_addr.to_bytes() + self.adv_data
+        return _header(AdvPduType.ADV_IND, len(body),
+                       self.adv_addr.random, False) + body
+
+    @classmethod
+    def from_body(cls, body: bytes, tx_add: bool) -> "AdvInd":
+        """Decode from the PDU body (header already parsed)."""
+        if len(body) < 6:
+            raise CodecError("ADV_IND body shorter than an address")
+        return cls(BdAddress.from_bytes(body[:6], tx_add), body[6:])
+
+
+@dataclass(frozen=True)
+class ScanReq:
+    """SCAN_REQ: scanner asks an advertiser for more data."""
+
+    scan_addr: BdAddress
+    adv_addr: BdAddress
+
+    def to_bytes(self) -> bytes:
+        """Full advertising PDU bytes."""
+        body = self.scan_addr.to_bytes() + self.adv_addr.to_bytes()
+        return _header(AdvPduType.SCAN_REQ, len(body),
+                       self.scan_addr.random, self.adv_addr.random) + body
+
+    @classmethod
+    def from_body(cls, body: bytes, tx_add: bool, rx_add: bool) -> "ScanReq":
+        """Decode from the PDU body (header already parsed)."""
+        if len(body) != 12:
+            raise CodecError(f"SCAN_REQ body must be 12 bytes, got {len(body)}")
+        return cls(
+            BdAddress.from_bytes(body[:6], tx_add),
+            BdAddress.from_bytes(body[6:], rx_add),
+        )
+
+
+@dataclass(frozen=True)
+class ScanRsp:
+    """SCAN_RSP: advertiser's answer to SCAN_REQ."""
+
+    adv_addr: BdAddress
+    scan_data: bytes = b""
+
+    def __post_init__(self) -> None:
+        if len(self.scan_data) > 31:
+            raise CodecError(f"ScanRspData too long: {len(self.scan_data)}")
+
+    def to_bytes(self) -> bytes:
+        """Full advertising PDU bytes."""
+        body = self.adv_addr.to_bytes() + self.scan_data
+        return _header(AdvPduType.SCAN_RSP, len(body),
+                       self.adv_addr.random, False) + body
+
+    @classmethod
+    def from_body(cls, body: bytes, tx_add: bool) -> "ScanRsp":
+        """Decode from the PDU body (header already parsed)."""
+        if len(body) < 6:
+            raise CodecError("SCAN_RSP body shorter than an address")
+        return cls(BdAddress.from_bytes(body[:6], tx_add), body[6:])
+
+
+@dataclass(frozen=True)
+class LLData:
+    """The 22-byte LLData block of CONNECT_REQ (paper Table II).
+
+    Attributes:
+        access_address: 32-bit AA every connection frame will carry.
+        crc_init: 24-bit CRC seed for the connection.
+        win_size: transmit-window size, 1.25 ms slots (1-8).
+        win_offset: transmit-window offset, 1.25 ms slots.
+        interval: hop interval, 1.25 ms slots (6-3200).
+        latency: slave latency in events.
+        timeout: supervision timeout in 10 ms units.
+        channel_map: 37-bit used-channel bitmask.
+        hop_increment: CSA#1 hop increment (5-16), 5 bits on air.
+        sca: Master's sleep-clock-accuracy field (0-7), 3 bits on air.
+    """
+
+    access_address: int
+    crc_init: int
+    win_size: int
+    win_offset: int
+    interval: int
+    latency: int
+    timeout: int
+    channel_map: int
+    hop_increment: int
+    sca: int
+
+    def __post_init__(self) -> None:
+        checks = (
+            (0 <= self.access_address < 1 << 32, "access address"),
+            (0 <= self.crc_init < 1 << 24, "CRCInit"),
+            (1 <= self.win_size <= 8, "WinSize"),
+            (0 <= self.win_offset < 1 << 16, "WinOffset"),
+            (6 <= self.interval <= 3200, "interval"),
+            (0 <= self.latency < 1 << 16, "latency"),
+            (0 <= self.timeout < 1 << 16, "timeout"),
+            (0 < self.channel_map < 1 << 37, "channel map"),
+            (5 <= self.hop_increment <= 16, "hop increment"),
+            (0 <= self.sca <= 7, "SCA"),
+        )
+        for ok, name in checks:
+            if not ok:
+                raise CodecError(f"LLData field out of range: {name}")
+
+    def to_bytes(self) -> bytes:
+        """Encode the LLData block."""
+        return (
+            int_to_bytes_le(self.access_address, 4)
+            + int_to_bytes_le(self.crc_init, 3)
+            + int_to_bytes_le(self.win_size, 1)
+            + int_to_bytes_le(self.win_offset, 2)
+            + int_to_bytes_le(self.interval, 2)
+            + int_to_bytes_le(self.latency, 2)
+            + int_to_bytes_le(self.timeout, 2)
+            + int_to_bytes_le(self.channel_map, 5)
+            + bytes([(self.hop_increment & 0x1F) | (self.sca << 5)])
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "LLData":
+        """Decode a 22-byte LLData block."""
+        if len(data) != 22:
+            raise CodecError(f"LLData must be 22 bytes, got {len(data)}")
+        return cls(
+            access_address=bytes_to_int_le(data[0:4]),
+            crc_init=bytes_to_int_le(data[4:7]),
+            win_size=data[7],
+            win_offset=bytes_to_int_le(data[8:10]),
+            interval=bytes_to_int_le(data[10:12]),
+            latency=bytes_to_int_le(data[12:14]),
+            timeout=bytes_to_int_le(data[14:16]),
+            channel_map=bytes_to_int_le(data[16:21]),
+            hop_increment=data[21] & 0x1F,
+            sca=(data[21] >> 5) & 0x7,
+        )
+
+
+@dataclass(frozen=True)
+class ConnectReq:
+    """CONNECT_REQ: the connection-initiating PDU (paper Table II)."""
+
+    init_addr: BdAddress
+    adv_addr: BdAddress
+    ll_data: LLData
+
+    def to_bytes(self) -> bytes:
+        """Full advertising PDU bytes (header + 34-byte body)."""
+        body = (
+            self.init_addr.to_bytes()
+            + self.adv_addr.to_bytes()
+            + self.ll_data.to_bytes()
+        )
+        return _header(AdvPduType.CONNECT_REQ, len(body),
+                       self.init_addr.random, self.adv_addr.random) + body
+
+    @classmethod
+    def from_body(cls, body: bytes, tx_add: bool, rx_add: bool) -> "ConnectReq":
+        """Decode from the PDU body (header already parsed)."""
+        if len(body) != 34:
+            raise CodecError(f"CONNECT_REQ body must be 34 bytes, got {len(body)}")
+        return cls(
+            init_addr=BdAddress.from_bytes(body[0:6], tx_add),
+            adv_addr=BdAddress.from_bytes(body[6:12], rx_add),
+            ll_data=LLData.from_bytes(body[12:34]),
+        )
+
+
+AdvertisingPdu = Union[AdvInd, ScanReq, ScanRsp, ConnectReq]
+
+
+def decode_advertising_pdu(data: bytes) -> AdvertisingPdu:
+    """Decode an advertising-channel PDU from its on-air bytes."""
+    if len(data) < 2:
+        raise CodecError("advertising PDU shorter than its header")
+    byte0, length = data[0], data[1]
+    body = data[2:]
+    if len(body) != length:
+        raise CodecError(f"length mismatch: header {length}, body {len(body)}")
+    tx_add = bool((byte0 >> 6) & 1)
+    rx_add = bool((byte0 >> 7) & 1)
+    try:
+        pdu_type = AdvPduType(byte0 & 0x0F)
+    except ValueError:
+        raise CodecError(f"unknown advertising PDU type {byte0 & 0x0F}") from None
+    if pdu_type is AdvPduType.ADV_IND:
+        return AdvInd.from_body(body, tx_add)
+    if pdu_type is AdvPduType.SCAN_REQ:
+        return ScanReq.from_body(body, tx_add, rx_add)
+    if pdu_type is AdvPduType.SCAN_RSP:
+        return ScanRsp.from_body(body, tx_add)
+    if pdu_type is AdvPduType.CONNECT_REQ:
+        return ConnectReq.from_body(body, tx_add, rx_add)
+    raise CodecError(f"unsupported advertising PDU type: {pdu_type.name}")

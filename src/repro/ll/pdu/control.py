@@ -1,0 +1,544 @@
+"""LL control PDUs.
+
+Control PDUs ride inside data-channel PDUs with ``LLID = CONTROL``; the
+first payload byte is the opcode.  The ones the attack scenarios rely on:
+
+* ``LL_TERMINATE_IND`` — Scenario B forces the Slave out of the connection
+  with a single injected terminate (paper §VI-B, Fig. 6).
+* ``LL_CONNECTION_UPDATE_IND`` — Scenarios C/D inject a forged update whose
+  *instant* desynchronises the legitimate Master from the Slave
+  (paper §VI-C, Fig. 7).
+* ``LL_CHANNEL_MAP_IND`` — same instant mechanism for the channel map.
+* ``LL_CLOCK_ACCURACY_REQ/RSP`` — leak the Master's SCA to the attacker for
+  the widening estimate (paper §V-C).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import ClassVar, Type
+
+from repro.errors import CodecError
+from repro.utils.bits import bytes_to_int_le, int_to_bytes_le
+
+
+class ControlOpcode(enum.IntEnum):
+    """LL control PDU opcodes (Core Spec Vol 6 Part B §2.4.2)."""
+
+    LL_CONNECTION_UPDATE_IND = 0x00
+    LL_CHANNEL_MAP_IND = 0x01
+    LL_TERMINATE_IND = 0x02
+    LL_ENC_REQ = 0x03
+    LL_ENC_RSP = 0x04
+    LL_START_ENC_REQ = 0x05
+    LL_START_ENC_RSP = 0x06
+    LL_UNKNOWN_RSP = 0x07
+    LL_FEATURE_REQ = 0x08
+    LL_FEATURE_RSP = 0x09
+    LL_VERSION_IND = 0x0C
+    LL_REJECT_IND = 0x0D
+    LL_PING_REQ = 0x12
+    LL_PING_RSP = 0x13
+    LL_LENGTH_REQ = 0x14
+    LL_LENGTH_RSP = 0x15
+    LL_PHY_REQ = 0x16
+    LL_PHY_RSP = 0x17
+    LL_PHY_UPDATE_IND = 0x18
+    LL_CLOCK_ACCURACY_REQ = 0x25
+    LL_CLOCK_ACCURACY_RSP = 0x26
+
+
+@dataclass(frozen=True)
+class ControlPdu:
+    """Base class: every control PDU knows its opcode and codec."""
+
+    OPCODE: ClassVar[ControlOpcode]
+
+    def to_payload(self) -> bytes:
+        """Opcode byte followed by the CtrData encoding."""
+        return bytes([int(self.OPCODE)]) + self._ctr_data()
+
+    def _ctr_data(self) -> bytes:
+        raise NotImplementedError
+
+    @classmethod
+    def _from_ctr_data(cls, data: bytes) -> "ControlPdu":
+        raise NotImplementedError
+
+
+def _require_len(data: bytes, expected: int, name: str) -> None:
+    if len(data) != expected:
+        raise CodecError(f"{name} CtrData must be {expected} bytes, got {len(data)}")
+
+
+@dataclass(frozen=True)
+class ConnectionUpdateInd(ControlPdu):
+    """LL_CONNECTION_UPDATE_IND: re-times the connection at *instant*.
+
+    Attributes:
+        win_size: new transmit-window size in 1.25 ms slots.
+        win_offset: new transmit-window offset in slots.
+        interval: new hop interval in slots.
+        latency: new slave latency (events the Slave may skip).
+        timeout: new supervision timeout in 10 ms units.
+        instant: connection event counter value at which to switch.
+    """
+
+    OPCODE: ClassVar[ControlOpcode] = ControlOpcode.LL_CONNECTION_UPDATE_IND
+    win_size: int
+    win_offset: int
+    interval: int
+    latency: int
+    timeout: int
+    instant: int
+
+    def _ctr_data(self) -> bytes:
+        return (
+            int_to_bytes_le(self.win_size, 1)
+            + int_to_bytes_le(self.win_offset, 2)
+            + int_to_bytes_le(self.interval, 2)
+            + int_to_bytes_le(self.latency, 2)
+            + int_to_bytes_le(self.timeout, 2)
+            + int_to_bytes_le(self.instant, 2)
+        )
+
+    @classmethod
+    def _from_ctr_data(cls, data: bytes) -> "ConnectionUpdateInd":
+        _require_len(data, 11, "LL_CONNECTION_UPDATE_IND")
+        return cls(
+            win_size=data[0],
+            win_offset=bytes_to_int_le(data[1:3]),
+            interval=bytes_to_int_le(data[3:5]),
+            latency=bytes_to_int_le(data[5:7]),
+            timeout=bytes_to_int_le(data[7:9]),
+            instant=bytes_to_int_le(data[9:11]),
+        )
+
+
+@dataclass(frozen=True)
+class ChannelMapInd(ControlPdu):
+    """LL_CHANNEL_MAP_IND: new 37-bit channel map applied at *instant*."""
+
+    OPCODE: ClassVar[ControlOpcode] = ControlOpcode.LL_CHANNEL_MAP_IND
+    channel_map: int
+    instant: int
+
+    def _ctr_data(self) -> bytes:
+        if not 0 <= self.channel_map < 1 << 37:
+            raise CodecError(f"channel map out of range: {self.channel_map:#x}")
+        return int_to_bytes_le(self.channel_map, 5) + int_to_bytes_le(self.instant, 2)
+
+    @classmethod
+    def _from_ctr_data(cls, data: bytes) -> "ChannelMapInd":
+        _require_len(data, 7, "LL_CHANNEL_MAP_IND")
+        return cls(
+            channel_map=bytes_to_int_le(data[0:5]),
+            instant=bytes_to_int_le(data[5:7]),
+        )
+
+
+@dataclass(frozen=True)
+class TerminateInd(ControlPdu):
+    """LL_TERMINATE_IND: sender is leaving the connection.
+
+    ``error_code`` is an HCI error constant; 0x13 is the usual
+    "remote user terminated connection".
+    """
+
+    OPCODE: ClassVar[ControlOpcode] = ControlOpcode.LL_TERMINATE_IND
+    error_code: int = 0x13
+
+    def _ctr_data(self) -> bytes:
+        return int_to_bytes_le(self.error_code, 1)
+
+    @classmethod
+    def _from_ctr_data(cls, data: bytes) -> "TerminateInd":
+        _require_len(data, 1, "LL_TERMINATE_IND")
+        return cls(error_code=data[0])
+
+
+@dataclass(frozen=True)
+class EncReq(ControlPdu):
+    """LL_ENC_REQ: Master starts the encryption-setup procedure."""
+
+    OPCODE: ClassVar[ControlOpcode] = ControlOpcode.LL_ENC_REQ
+    rand: int
+    ediv: int
+    skd_m: int
+    iv_m: int
+
+    def _ctr_data(self) -> bytes:
+        return (
+            int_to_bytes_le(self.rand, 8)
+            + int_to_bytes_le(self.ediv, 2)
+            + int_to_bytes_le(self.skd_m, 8)
+            + int_to_bytes_le(self.iv_m, 4)
+        )
+
+    @classmethod
+    def _from_ctr_data(cls, data: bytes) -> "EncReq":
+        _require_len(data, 22, "LL_ENC_REQ")
+        return cls(
+            rand=bytes_to_int_le(data[0:8]),
+            ediv=bytes_to_int_le(data[8:10]),
+            skd_m=bytes_to_int_le(data[10:18]),
+            iv_m=bytes_to_int_le(data[18:22]),
+        )
+
+
+@dataclass(frozen=True)
+class EncRsp(ControlPdu):
+    """LL_ENC_RSP: Slave's half of the session-key diversifier and IV."""
+
+    OPCODE: ClassVar[ControlOpcode] = ControlOpcode.LL_ENC_RSP
+    skd_s: int
+    iv_s: int
+
+    def _ctr_data(self) -> bytes:
+        return int_to_bytes_le(self.skd_s, 8) + int_to_bytes_le(self.iv_s, 4)
+
+    @classmethod
+    def _from_ctr_data(cls, data: bytes) -> "EncRsp":
+        _require_len(data, 12, "LL_ENC_RSP")
+        return cls(skd_s=bytes_to_int_le(data[0:8]), iv_s=bytes_to_int_le(data[8:12]))
+
+
+@dataclass(frozen=True)
+class StartEncReq(ControlPdu):
+    """LL_START_ENC_REQ (no CtrData)."""
+
+    OPCODE: ClassVar[ControlOpcode] = ControlOpcode.LL_START_ENC_REQ
+
+    def _ctr_data(self) -> bytes:
+        return b""
+
+    @classmethod
+    def _from_ctr_data(cls, data: bytes) -> "StartEncReq":
+        _require_len(data, 0, "LL_START_ENC_REQ")
+        return cls()
+
+
+@dataclass(frozen=True)
+class StartEncRsp(ControlPdu):
+    """LL_START_ENC_RSP (no CtrData)."""
+
+    OPCODE: ClassVar[ControlOpcode] = ControlOpcode.LL_START_ENC_RSP
+
+    def _ctr_data(self) -> bytes:
+        return b""
+
+    @classmethod
+    def _from_ctr_data(cls, data: bytes) -> "StartEncRsp":
+        _require_len(data, 0, "LL_START_ENC_RSP")
+        return cls()
+
+
+@dataclass(frozen=True)
+class UnknownRsp(ControlPdu):
+    """LL_UNKNOWN_RSP: peer did not understand ``unknown_type``."""
+
+    OPCODE: ClassVar[ControlOpcode] = ControlOpcode.LL_UNKNOWN_RSP
+    unknown_type: int = 0
+
+    def _ctr_data(self) -> bytes:
+        return int_to_bytes_le(self.unknown_type, 1)
+
+    @classmethod
+    def _from_ctr_data(cls, data: bytes) -> "UnknownRsp":
+        _require_len(data, 1, "LL_UNKNOWN_RSP")
+        return cls(unknown_type=data[0])
+
+
+@dataclass(frozen=True)
+class FeatureReq(ControlPdu):
+    """LL_FEATURE_REQ with the 64-bit feature set."""
+
+    OPCODE: ClassVar[ControlOpcode] = ControlOpcode.LL_FEATURE_REQ
+    features: int = 0
+
+    def _ctr_data(self) -> bytes:
+        return int_to_bytes_le(self.features, 8)
+
+    @classmethod
+    def _from_ctr_data(cls, data: bytes) -> "FeatureReq":
+        _require_len(data, 8, "LL_FEATURE_REQ")
+        return cls(features=bytes_to_int_le(data))
+
+
+@dataclass(frozen=True)
+class FeatureRsp(ControlPdu):
+    """LL_FEATURE_RSP with the 64-bit feature set."""
+
+    OPCODE: ClassVar[ControlOpcode] = ControlOpcode.LL_FEATURE_RSP
+    features: int = 0
+
+    def _ctr_data(self) -> bytes:
+        return int_to_bytes_le(self.features, 8)
+
+    @classmethod
+    def _from_ctr_data(cls, data: bytes) -> "FeatureRsp":
+        _require_len(data, 8, "LL_FEATURE_RSP")
+        return cls(features=bytes_to_int_le(data))
+
+
+@dataclass(frozen=True)
+class VersionInd(ControlPdu):
+    """LL_VERSION_IND: version / company / subversion triple."""
+
+    OPCODE: ClassVar[ControlOpcode] = ControlOpcode.LL_VERSION_IND
+    version: int = 0x09  # BLE 5.0
+    company: int = 0xFFFF
+    subversion: int = 0
+
+    def _ctr_data(self) -> bytes:
+        return (
+            int_to_bytes_le(self.version, 1)
+            + int_to_bytes_le(self.company, 2)
+            + int_to_bytes_le(self.subversion, 2)
+        )
+
+    @classmethod
+    def _from_ctr_data(cls, data: bytes) -> "VersionInd":
+        _require_len(data, 5, "LL_VERSION_IND")
+        return cls(
+            version=data[0],
+            company=bytes_to_int_le(data[1:3]),
+            subversion=bytes_to_int_le(data[3:5]),
+        )
+
+
+@dataclass(frozen=True)
+class RejectInd(ControlPdu):
+    """LL_REJECT_IND with an error code."""
+
+    OPCODE: ClassVar[ControlOpcode] = ControlOpcode.LL_REJECT_IND
+    error_code: int = 0x0C
+
+    def _ctr_data(self) -> bytes:
+        return int_to_bytes_le(self.error_code, 1)
+
+    @classmethod
+    def _from_ctr_data(cls, data: bytes) -> "RejectInd":
+        _require_len(data, 1, "LL_REJECT_IND")
+        return cls(error_code=data[0])
+
+
+@dataclass(frozen=True)
+class PingReq(ControlPdu):
+    """LL_PING_REQ (no CtrData)."""
+
+    OPCODE: ClassVar[ControlOpcode] = ControlOpcode.LL_PING_REQ
+
+    def _ctr_data(self) -> bytes:
+        return b""
+
+    @classmethod
+    def _from_ctr_data(cls, data: bytes) -> "PingReq":
+        _require_len(data, 0, "LL_PING_REQ")
+        return cls()
+
+
+@dataclass(frozen=True)
+class PingRsp(ControlPdu):
+    """LL_PING_RSP (no CtrData)."""
+
+    OPCODE: ClassVar[ControlOpcode] = ControlOpcode.LL_PING_RSP
+
+    def _ctr_data(self) -> bytes:
+        return b""
+
+    @classmethod
+    def _from_ctr_data(cls, data: bytes) -> "PingRsp":
+        _require_len(data, 0, "LL_PING_RSP")
+        return cls()
+
+
+@dataclass(frozen=True)
+class LengthReq(ControlPdu):
+    """LL_LENGTH_REQ: data length extension negotiation (BLE 4.2)."""
+
+    OPCODE: ClassVar[ControlOpcode] = ControlOpcode.LL_LENGTH_REQ
+    max_rx_octets: int = 251
+    max_rx_time: int = 2120
+    max_tx_octets: int = 251
+    max_tx_time: int = 2120
+
+    def _ctr_data(self) -> bytes:
+        return (int_to_bytes_le(self.max_rx_octets, 2)
+                + int_to_bytes_le(self.max_rx_time, 2)
+                + int_to_bytes_le(self.max_tx_octets, 2)
+                + int_to_bytes_le(self.max_tx_time, 2))
+
+    @classmethod
+    def _from_ctr_data(cls, data: bytes) -> "LengthReq":
+        _require_len(data, 8, "LL_LENGTH_REQ")
+        return cls(
+            max_rx_octets=bytes_to_int_le(data[0:2]),
+            max_rx_time=bytes_to_int_le(data[2:4]),
+            max_tx_octets=bytes_to_int_le(data[4:6]),
+            max_tx_time=bytes_to_int_le(data[6:8]),
+        )
+
+
+@dataclass(frozen=True)
+class LengthRsp(ControlPdu):
+    """LL_LENGTH_RSP: responder's data length capabilities."""
+
+    OPCODE: ClassVar[ControlOpcode] = ControlOpcode.LL_LENGTH_RSP
+    max_rx_octets: int = 251
+    max_rx_time: int = 2120
+    max_tx_octets: int = 251
+    max_tx_time: int = 2120
+
+    def _ctr_data(self) -> bytes:
+        return (int_to_bytes_le(self.max_rx_octets, 2)
+                + int_to_bytes_le(self.max_rx_time, 2)
+                + int_to_bytes_le(self.max_tx_octets, 2)
+                + int_to_bytes_le(self.max_tx_time, 2))
+
+    @classmethod
+    def _from_ctr_data(cls, data: bytes) -> "LengthRsp":
+        _require_len(data, 8, "LL_LENGTH_RSP")
+        return cls(
+            max_rx_octets=bytes_to_int_le(data[0:2]),
+            max_rx_time=bytes_to_int_le(data[2:4]),
+            max_tx_octets=bytes_to_int_le(data[4:6]),
+            max_tx_time=bytes_to_int_le(data[6:8]),
+        )
+
+
+#: PHY selection bits of the PHY update procedure.
+PHY_1M = 0x01
+PHY_2M = 0x02
+PHY_CODED = 0x04
+
+
+@dataclass(frozen=True)
+class PhyReq(ControlPdu):
+    """LL_PHY_REQ: sender's preferred PHYs (bitmasks)."""
+
+    OPCODE: ClassVar[ControlOpcode] = ControlOpcode.LL_PHY_REQ
+    tx_phys: int = PHY_2M
+    rx_phys: int = PHY_2M
+
+    def _ctr_data(self) -> bytes:
+        return bytes([self.tx_phys, self.rx_phys])
+
+    @classmethod
+    def _from_ctr_data(cls, data: bytes) -> "PhyReq":
+        _require_len(data, 2, "LL_PHY_REQ")
+        return cls(tx_phys=data[0], rx_phys=data[1])
+
+
+@dataclass(frozen=True)
+class PhyRsp(ControlPdu):
+    """LL_PHY_RSP: responder's acceptable PHYs."""
+
+    OPCODE: ClassVar[ControlOpcode] = ControlOpcode.LL_PHY_RSP
+    tx_phys: int = PHY_1M | PHY_2M
+    rx_phys: int = PHY_1M | PHY_2M
+
+    def _ctr_data(self) -> bytes:
+        return bytes([self.tx_phys, self.rx_phys])
+
+    @classmethod
+    def _from_ctr_data(cls, data: bytes) -> "PhyRsp":
+        _require_len(data, 2, "LL_PHY_RSP")
+        return cls(tx_phys=data[0], rx_phys=data[1])
+
+
+@dataclass(frozen=True)
+class PhyUpdateInd(ControlPdu):
+    """LL_PHY_UPDATE_IND: the Master fixes the new PHYs at *instant*.
+
+    Another instant-based procedure (like the connection update Scenario C
+    forges): an attacker with the injection primitive can force a PHY
+    switch the legitimate Master never asked for.
+    """
+
+    OPCODE: ClassVar[ControlOpcode] = ControlOpcode.LL_PHY_UPDATE_IND
+    m_to_s_phy: int = PHY_2M
+    s_to_m_phy: int = PHY_2M
+    instant: int = 0
+
+    def _ctr_data(self) -> bytes:
+        return (bytes([self.m_to_s_phy, self.s_to_m_phy])
+                + int_to_bytes_le(self.instant, 2))
+
+    @classmethod
+    def _from_ctr_data(cls, data: bytes) -> "PhyUpdateInd":
+        _require_len(data, 4, "LL_PHY_UPDATE_IND")
+        return cls(m_to_s_phy=data[0], s_to_m_phy=data[1],
+                   instant=bytes_to_int_le(data[2:4]))
+
+
+@dataclass(frozen=True)
+class ClockAccuracyReq(ControlPdu):
+    """LL_CLOCK_ACCURACY_REQ: advertises the sender's SCA field (0-7)."""
+
+    OPCODE: ClassVar[ControlOpcode] = ControlOpcode.LL_CLOCK_ACCURACY_REQ
+    sca: int = 0
+
+    def _ctr_data(self) -> bytes:
+        return int_to_bytes_le(self.sca, 1)
+
+    @classmethod
+    def _from_ctr_data(cls, data: bytes) -> "ClockAccuracyReq":
+        _require_len(data, 1, "LL_CLOCK_ACCURACY_REQ")
+        return cls(sca=data[0])
+
+
+@dataclass(frozen=True)
+class ClockAccuracyRsp(ControlPdu):
+    """LL_CLOCK_ACCURACY_RSP: responder's SCA field (0-7)."""
+
+    OPCODE: ClassVar[ControlOpcode] = ControlOpcode.LL_CLOCK_ACCURACY_RSP
+    sca: int = 0
+
+    def _ctr_data(self) -> bytes:
+        return int_to_bytes_le(self.sca, 1)
+
+    @classmethod
+    def _from_ctr_data(cls, data: bytes) -> "ClockAccuracyRsp":
+        _require_len(data, 1, "LL_CLOCK_ACCURACY_RSP")
+        return cls(sca=data[0])
+
+
+_OPCODE_TO_CLASS: dict[ControlOpcode, Type[ControlPdu]] = {
+    cls.OPCODE: cls
+    for cls in (
+        ConnectionUpdateInd,
+        ChannelMapInd,
+        TerminateInd,
+        EncReq,
+        EncRsp,
+        StartEncReq,
+        StartEncRsp,
+        UnknownRsp,
+        FeatureReq,
+        FeatureRsp,
+        VersionInd,
+        RejectInd,
+        PingReq,
+        PingRsp,
+        LengthReq,
+        LengthRsp,
+        PhyReq,
+        PhyRsp,
+        PhyUpdateInd,
+        ClockAccuracyReq,
+        ClockAccuracyRsp,
+    )
+}
+
+
+def decode_control_pdu(payload: bytes) -> ControlPdu:
+    """Decode a control PDU from a data-PDU payload (opcode + CtrData)."""
+    if not payload:
+        raise CodecError("empty control PDU")
+    try:
+        opcode = ControlOpcode(payload[0])
+    except ValueError:
+        raise CodecError(f"unknown LL control opcode 0x{payload[0]:02X}") from None
+    return _OPCODE_TO_CLASS[opcode]._from_ctr_data(payload[1:])

@@ -1,0 +1,116 @@
+"""Link-Layer timing arithmetic: transmit windows and window widening.
+
+These are the formulas the InjectaBLE attack turns against the protocol:
+
+* **Transmit window** (paper eq. 1): after CONNECT_REQ (or a connection
+  update at its instant), the first Master frame arrives inside
+  ``[t_start, t_start + d_size]`` with
+  ``t_start = t_ref + 1.25 ms + WinOffset * 1.25 ms`` and
+  ``d_size = WinSize * 1.25 ms``.
+
+* **Window widening** (paper eq. 4/5): the Slave opens its receive window
+  ``w`` early and keeps it open ``w`` late, with
+  ``w = (SCA_M + SCA_S)/1e6 * (t_nextAnchor - t_lastAnchor) + 32 µs``.
+
+The attacker computes the same ``w`` (estimating the Slave's SCA at the
+20 ppm worst case) and fires at ``t_pred - w``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LinkLayerError
+from repro.utils.units import PPM, SLOT_US
+
+#: Constant term of the widening formula (active clock jitter allowance).
+WINDOW_WIDENING_CONSTANT_US = 32.0
+
+#: Worst-case Slave SCA the attacker assumes when it cannot know it (§V-C).
+WORST_CASE_SLAVE_SCA_PPM = 20.0
+
+
+@dataclass(frozen=True)
+class Window:
+    """A half-open time interval in true µs."""
+
+    start_us: float
+    end_us: float
+
+    def __post_init__(self) -> None:
+        if self.end_us < self.start_us:
+            raise LinkLayerError(
+                f"window ends before it starts: [{self.start_us}, {self.end_us}]"
+            )
+
+    @property
+    def duration_us(self) -> float:
+        """Window length."""
+        return self.end_us - self.start_us
+
+    def contains(self, t_us: float) -> bool:
+        """Whether ``t_us`` falls inside the window (inclusive bounds)."""
+        return self.start_us - 1e-9 <= t_us <= self.end_us + 1e-9
+
+
+def window_widening_us(
+    master_sca_ppm: float,
+    slave_sca_ppm: float,
+    interval_since_anchor_us: float,
+) -> float:
+    """Window widening ``w`` per paper eq. 4.
+
+    Args:
+        master_sca_ppm: Master sleep-clock accuracy in ppm.
+        slave_sca_ppm: Slave sleep-clock accuracy in ppm.
+        interval_since_anchor_us: time between the last observed anchor and
+            the predicted next anchor (``d_connInterval`` when latency is 0,
+            eq. 5).
+    """
+    if master_sca_ppm < 0 or slave_sca_ppm < 0:
+        raise LinkLayerError("SCA values must be non-negative")
+    if interval_since_anchor_us < 0:
+        raise LinkLayerError(
+            f"negative anchor interval: {interval_since_anchor_us}"
+        )
+    drift = (master_sca_ppm + slave_sca_ppm) / PPM * interval_since_anchor_us
+    return drift + WINDOW_WIDENING_CONSTANT_US
+
+
+def receive_window(
+    predicted_anchor_us: float,
+    master_sca_ppm: float,
+    slave_sca_ppm: float,
+    interval_since_anchor_us: float,
+) -> Window:
+    """The Slave's receive window around a predicted anchor (paper Fig. 4)."""
+    w = window_widening_us(master_sca_ppm, slave_sca_ppm, interval_since_anchor_us)
+    return Window(predicted_anchor_us - w, predicted_anchor_us + w)
+
+
+def transmit_window(
+    reference_end_us: float, win_offset_slots: int, win_size_slots: int
+) -> Window:
+    """The transmit window after CONNECT_REQ or a connection update.
+
+    Args:
+        reference_end_us: end of the CONNECT_REQ transmission (``t_init``,
+            eq. 1) or the old-schedule anchor at the update instant (Fig. 2).
+        win_offset_slots: *WinOffset* in 1.25 ms slots.
+        win_size_slots: *WinSize* in 1.25 ms slots (1-8).
+    """
+    if win_offset_slots < 0:
+        raise LinkLayerError(f"negative WinOffset: {win_offset_slots}")
+    if not 1 <= win_size_slots <= 8:
+        raise LinkLayerError(f"WinSize must be 1-8 slots, got {win_size_slots}")
+    start = reference_end_us + SLOT_US + win_offset_slots * SLOT_US
+    return Window(start, start + win_size_slots * SLOT_US)
+
+
+def anchor_after(anchor_us: float, hop_interval_slots: int, events: int = 1) -> float:
+    """Predicted anchor ``events`` connection events after ``anchor_us``."""
+    if hop_interval_slots <= 0:
+        raise LinkLayerError(f"hop interval must be > 0: {hop_interval_slots}")
+    if events < 0:
+        raise LinkLayerError(f"events must be >= 0: {events}")
+    return anchor_us + events * hop_interval_slots * SLOT_US

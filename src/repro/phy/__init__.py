@@ -1,0 +1,41 @@
+"""BLE physical layer: channels, modulation timing, whitening, CRC, radio propagation."""
+
+from repro.phy.channels import (
+    ADVERTISING_CHANNELS,
+    DATA_CHANNELS,
+    NUM_CHANNELS,
+    Channel,
+    channel_to_frequency_mhz,
+    frequency_mhz_to_channel,
+)
+from repro.phy.collision import CollisionModel, CollisionOutcome, Overlap
+from repro.phy.crc import crc24, crc24_check, crc24_init_from_bytes, reverse_crc24_init
+from repro.phy.modulation import PhyMode, air_time_us, frame_length_bytes
+from repro.phy.path_loss import PathLossModel, Wall, dbm_to_mw, mw_to_dbm
+from repro.phy.signal import RadioFrame
+from repro.phy.whitening import whiten
+
+__all__ = [
+    "ADVERTISING_CHANNELS",
+    "DATA_CHANNELS",
+    "NUM_CHANNELS",
+    "Channel",
+    "CollisionModel",
+    "CollisionOutcome",
+    "Overlap",
+    "PathLossModel",
+    "PhyMode",
+    "RadioFrame",
+    "Wall",
+    "air_time_us",
+    "channel_to_frequency_mhz",
+    "crc24",
+    "crc24_check",
+    "crc24_init_from_bytes",
+    "dbm_to_mw",
+    "frame_length_bytes",
+    "frequency_mhz_to_channel",
+    "mw_to_dbm",
+    "reverse_crc24_init",
+    "whiten",
+]

@@ -1,0 +1,93 @@
+"""BLE RF channel plan.
+
+BLE defines 40 channels of 2 MHz in the 2.4 GHz ISM band.  Channels 37, 38
+and 39 are advertising channels; channels 0-36 carry connections.  The
+mapping between channel *index* and centre frequency is irregular around the
+advertising channels, which sit at 2402, 2426 and 2480 MHz to dodge busy
+Wi-Fi channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+NUM_CHANNELS = 40
+
+#: Channel indices reserved for advertising.
+ADVERTISING_CHANNELS: tuple[int, ...] = (37, 38, 39)
+
+#: Channel indices usable by connections (data channels).
+DATA_CHANNELS: tuple[int, ...] = tuple(range(37))
+
+
+def channel_to_frequency_mhz(index: int) -> int:
+    """Map a BLE channel index (0-39) to its centre frequency in MHz.
+
+    Data channels 0-10 occupy 2404-2424 MHz, data channels 11-36 occupy
+    2428-2478 MHz, and advertising channels 37/38/39 sit at 2402/2426/2480.
+    """
+    if index == 37:
+        return 2402
+    if index == 38:
+        return 2426
+    if index == 39:
+        return 2480
+    if 0 <= index <= 10:
+        return 2404 + 2 * index
+    if 11 <= index <= 36:
+        return 2428 + 2 * (index - 11)
+    raise ConfigurationError(f"invalid BLE channel index: {index}")
+
+
+_FREQ_TO_CHANNEL = {channel_to_frequency_mhz(i): i for i in range(NUM_CHANNELS)}
+
+
+def frequency_mhz_to_channel(frequency_mhz: int) -> int:
+    """Inverse of :func:`channel_to_frequency_mhz`."""
+    try:
+        return _FREQ_TO_CHANNEL[frequency_mhz]
+    except KeyError:
+        raise ConfigurationError(f"no BLE channel at {frequency_mhz} MHz") from None
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A BLE RF channel.
+
+    Attributes:
+        index: channel index, 0-39.
+    """
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < NUM_CHANNELS:
+            raise ConfigurationError(f"invalid BLE channel index: {self.index}")
+
+    @property
+    def frequency_mhz(self) -> int:
+        """Centre frequency in MHz."""
+        return channel_to_frequency_mhz(self.index)
+
+    @property
+    def is_advertising(self) -> bool:
+        """Whether this is one of the three advertising channels."""
+        return self.index in ADVERTISING_CHANNELS
+
+    @property
+    def is_data(self) -> bool:
+        """Whether this channel can carry connection traffic."""
+        return not self.is_advertising
+
+    def whitening_init(self) -> int:
+        """Initial value of the data-whitening LFSR for this channel.
+
+        Per the Core Specification the LFSR is seeded with bit 6 set to 1
+        and bits 5..0 set to the channel index.
+        """
+        return 0x40 | self.index
+
+    def __int__(self) -> int:
+        return self.index

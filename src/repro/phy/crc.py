@@ -1,0 +1,78 @@
+"""BLE CRC-24.
+
+The Link Layer protects every PDU with a 24-bit CRC (polynomial
+x^24 + x^10 + x^9 + x^6 + x^4 + x^3 + x + 1).  The CRC register is seeded
+with ``CRCInit``: 0x555555 on advertising channels, or the connection's
+CRCInit value from the CONNECT_REQ on data channels.
+
+This module also implements the *reverse* CRC computation used by sniffers
+(Ryan 2013) to recover an unknown CRCInit from captured frames: the LFSR is
+run backwards from the observed CRC through the payload bits.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CodecError
+
+#: CRCInit used on the advertising channels.
+ADVERTISING_CRC_INIT = 0x555555
+
+_POLY_TAPS = (0, 1, 3, 4, 6, 9, 10)  # exponents below 24 of the polynomial
+
+
+def crc24(data: bytes, crc_init: int) -> int:
+    """Compute the BLE CRC-24 of ``data`` with the given 24-bit seed.
+
+    Bits of each byte are processed least-significant first, matching the
+    on-air bit order.
+    """
+    if not 0 <= crc_init < 1 << 24:
+        raise CodecError(f"CRCInit out of range: {crc_init:#x}")
+    state = crc_init
+    for byte in data:
+        for bit in range(8):
+            fb = ((state >> 23) & 1) ^ ((byte >> bit) & 1)
+            state = (state << 1) & 0xFFFFFF
+            if fb:
+                for tap in _POLY_TAPS:
+                    state ^= 1 << tap
+    return state
+
+
+def crc24_check(data: bytes, crc_value: int, crc_init: int) -> bool:
+    """Whether ``crc_value`` is the correct CRC of ``data`` under ``crc_init``."""
+    return crc24(data, crc_init) == crc_value
+
+
+def crc24_init_from_bytes(data: bytes) -> int:
+    """Decode a 3-byte little-endian CRCInit field (as in CONNECT_REQ)."""
+    if len(data) != 3:
+        raise CodecError(f"CRCInit field must be 3 bytes, got {len(data)}")
+    return int.from_bytes(data, "little")
+
+
+def reverse_crc24_init(data: bytes, crc_value: int) -> int:
+    """Recover the CRCInit that produced ``crc_value`` over ``data``.
+
+    Runs the CRC LFSR backwards from the final state through the data bits
+    in reverse order.  This is the classic technique used to sniff an
+    already-established connection whose CONNECT_REQ was missed: capture one
+    frame with a valid CRC, reverse it to get CRCInit, then verify against
+    further frames.
+    """
+    if not 0 <= crc_value < 1 << 24:
+        raise CodecError(f"CRC value out of range: {crc_value:#x}")
+    state = crc_value
+    for byte in reversed(data):
+        for bit in reversed(range(8)):
+            # Forward step was: fb = msb ^ data_bit; state = (state<<1)|0 then
+            # xor taps if fb.  Reconstruct fb from the inverse of the taps.
+            fb = state & 1  # after shift, bit0 = fb from the x^0 tap (poly has +1)
+            if fb:
+                for tap in _POLY_TAPS:
+                    state ^= 1 << tap
+                # undo the shift-in of fb at bit 0 before shifting back
+            state >>= 1
+            if fb ^ ((byte >> bit) & 1):
+                state |= 1 << 23
+    return state

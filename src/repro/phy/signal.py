@@ -1,0 +1,94 @@
+"""On-air representation of a transmitted frame."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import MediumError
+from repro.phy.modulation import PhyMode, air_time_us
+
+_frame_ids = itertools.count(1)
+
+
+@dataclass
+class RadioFrame:
+    """A frame in flight on the simulated medium.
+
+    This is the PHY-level view: raw (already whitened, CRC-appended) PDU
+    bytes plus the physical coordinates of the emission.  Link-Layer
+    semantics live in :mod:`repro.ll`.
+
+    Attributes:
+        access_address: 32-bit access address the frame is addressed under.
+        pdu: the PDU bytes (header + payload), *not* whitened — the
+            simulator models whitening as transparent and applies corruption
+            at the bit level directly.
+        crc: the 24-bit CRC as transmitted (possibly corrupted in flight).
+        channel: RF channel index 0-39.
+        start_us: simulator time at which transmission began.
+        tx_power_dbm: transmit power.
+        phy: PHY mode, fixing the bit rate.
+        sender_id: medium-assigned identifier of the transmitter.
+        corrupted: set by the medium when a collision damaged the frame as
+            seen by a given receiver (receivers get per-receiver copies).
+        frame_id: unique id for tracing.
+    """
+
+    access_address: int
+    pdu: bytes
+    crc: int
+    channel: int
+    start_us: float
+    tx_power_dbm: float
+    phy: PhyMode = PhyMode.LE_1M
+    sender_id: int = -1
+    corrupted: bool = False
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.access_address < 1 << 32:
+            raise MediumError(f"access address out of range: {self.access_address:#x}")
+        if not 0 <= self.crc < 1 << 24:
+            raise MediumError(f"CRC out of range: {self.crc:#x}")
+        if not 0 <= self.channel < 40:
+            raise MediumError(f"invalid channel: {self.channel}")
+
+    @property
+    def duration_us(self) -> float:
+        """Air time of the frame."""
+        return air_time_us(len(self.pdu), self.phy)
+
+    @property
+    def end_us(self) -> float:
+        """Simulator time at which the last bit leaves the antenna."""
+        return self.start_us + self.duration_us
+
+    def overlaps(self, other: "RadioFrame") -> bool:
+        """Whether this frame and ``other`` are on air simultaneously on the
+        same channel."""
+        if self.channel != other.channel:
+            return False
+        return self.start_us < other.end_us and other.start_us < self.end_us
+
+    def copy_for_receiver(self) -> "RadioFrame":
+        """A per-receiver copy that the medium may mark as corrupted."""
+        return RadioFrame(
+            access_address=self.access_address,
+            pdu=self.pdu,
+            crc=self.crc,
+            channel=self.channel,
+            start_us=self.start_us,
+            tx_power_dbm=self.tx_power_dbm,
+            phy=self.phy,
+            sender_id=self.sender_id,
+            corrupted=self.corrupted,
+            frame_id=self.frame_id,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RadioFrame(id={self.frame_id}, aa={self.access_address:#010x}, "
+            f"ch={self.channel}, t={self.start_us:.1f}us, "
+            f"len={len(self.pdu)}, corrupted={self.corrupted})"
+        )

@@ -1,0 +1,42 @@
+"""BLE data whitening.
+
+The Link Layer whitens the PDU and CRC with a 7-bit LFSR (polynomial
+x^7 + x^4 + 1) seeded from the RF channel index, to avoid long runs of
+identical bits on air.  Whitening is an involution: applying it twice with
+the same channel restores the input, which is the property the sniffer
+relies on to de-whiten captured frames.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CodecError
+
+
+def whiten(data: bytes, channel_index: int) -> bytes:
+    """Whiten (or de-whiten) ``data`` for transmission on ``channel_index``.
+
+    Args:
+        data: the PDU+CRC bytes as transmitted least-significant-bit first.
+        channel_index: RF channel (0-39) used to seed the LFSR.
+
+    Returns:
+        The whitened bytes; applying the function twice is the identity.
+    """
+    if not 0 <= channel_index < 40:
+        raise CodecError(f"invalid channel index for whitening: {channel_index}")
+    # Register bits: position 6 (MSB) .. 0; seeded with 1 then the channel
+    # index in positions 5..0, per Core Spec Vol 6 Part B §3.2.
+    lfsr = 0x40 | channel_index
+    out = bytearray(len(data))
+    for i, byte in enumerate(data):
+        result = 0
+        for bit in range(8):  # LSB first on air
+            white_bit = (lfsr >> 6) & 1
+            # Feedback taps of x^7 + x^4 + 1: bit 0 and bit 4 receive the
+            # output bit after the shift.
+            lfsr = ((lfsr << 1) & 0x7F) | white_bit
+            if white_bit:
+                lfsr ^= 1 << 4
+            result |= (((byte >> bit) & 1) ^ white_bit) << bit
+        out[i] = result
+    return bytes(out)

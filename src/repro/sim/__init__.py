@@ -1,0 +1,27 @@
+"""Discrete-event radio simulator: scheduler, drifting clocks, medium, topology."""
+
+from repro.sim.clock import SleepClock
+from repro.sim.interference import RogueAdvertiser, WifiInterferer
+from repro.sim.events import Event, EventQueue
+from repro.sim.medium import Medium
+from repro.sim.simulator import Simulator
+from repro.sim.topology import Point, Topology, WallSegment
+from repro.sim.trace import Trace, TraceRecord
+from repro.sim.transceiver import Transceiver, TransceiverState
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Medium",
+    "Point",
+    "RogueAdvertiser",
+    "Simulator",
+    "SleepClock",
+    "Topology",
+    "Trace",
+    "TraceRecord",
+    "Transceiver",
+    "TransceiverState",
+    "WifiInterferer",
+    "WallSegment",
+]

@@ -1,0 +1,73 @@
+"""Event queue for the discrete-event simulator."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SchedulingError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events order by time, then by a monotonically increasing sequence
+    number, so simultaneous events fire in scheduling order (deterministic).
+
+    Attributes:
+        time_us: absolute simulator (true) time at which to fire.
+        seq: tie-breaker assigned by the queue.
+        handler: zero-argument callable invoked when the event fires.
+        label: human-readable tag for traces and debugging.
+        cancelled: set via :meth:`cancel`; cancelled events are skipped.
+    """
+
+    time_us: float
+    seq: int
+    handler: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue drops it instead of firing it."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A time-ordered queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def push(self, time_us: float, handler: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``handler`` at ``time_us`` and return the event handle."""
+        if not callable(handler):
+            raise SchedulingError(f"handler is not callable: {handler!r}")
+        event = Event(time_us=time_us, seq=next(self._seq), handler=handler, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or ``None``."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next non-cancelled event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time_us if self._heap else None
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()

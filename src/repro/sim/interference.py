@@ -1,0 +1,131 @@
+"""Background RF interference sources.
+
+The paper's experiments ran "in a realistic environment, including several
+other BLE devices and multiple WiFi routers" (§VII-A).  This module
+provides interferers that occupy the simulated band so robustness can be
+studied: a Wi-Fi-like wideband burster parked on a block of channels, and
+a rogue BLE advertiser hammering the advertising channels.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.medium import Medium
+from repro.sim.simulator import Simulator
+from repro.sim.transceiver import Transceiver
+
+#: A junk access address for interference bursts.
+_NOISE_AA = 0x55AA55AA
+
+
+class WifiInterferer:
+    """A Wi-Fi-like burst source occupying a block of BLE channels.
+
+    A 20 MHz Wi-Fi channel covers ~10 BLE channels; each burst lands on a
+    random channel of the block.  Burst length and spacing are drawn from
+    exponential distributions parameterised by a duty cycle.
+
+    Args:
+        sim: owning simulator.
+        medium: radio medium (``name`` must be placed in its topology).
+        name: interferer name.
+        channels: BLE channels the carrier overlaps (default: the block
+            around Wi-Fi channel 6, BLE channels 11-20).
+        duty_cycle: fraction of time spent transmitting (0-1).
+        mean_burst_us: average burst duration.
+        tx_power_dbm: burst power.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        name: str = "wifi",
+        channels: Optional[Sequence[int]] = None,
+        duty_cycle: float = 0.05,
+        mean_burst_us: float = 800.0,
+        tx_power_dbm: float = 5.0,
+    ):
+        if not 0.0 < duty_cycle < 1.0:
+            raise ConfigurationError(
+                f"duty cycle must be in (0, 1), got {duty_cycle}")
+        self.sim = sim
+        self.channels = tuple(channels) if channels is not None else tuple(
+            range(11, 21))
+        self.duty_cycle = duty_cycle
+        self.mean_burst_us = mean_burst_us
+        self.radio = Transceiver(sim, medium, name,
+                                 tx_power_dbm=tx_power_dbm)
+        self._rng: np.random.Generator = sim.streams.get(f"wifi-{name}")
+        self._running = False
+        self.bursts_sent = 0
+
+    def start(self) -> None:
+        """Begin bursting."""
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop after any in-flight burst."""
+        self._running = False
+
+    def _schedule_next(self) -> None:
+        if not self._running:
+            return
+        mean_gap = self.mean_burst_us * (1.0 - self.duty_cycle) / self.duty_cycle
+        gap = float(self._rng.exponential(mean_gap))
+        self.sim.schedule_in(max(gap, 1.0), self._burst, "wifi-burst")
+
+    def _burst(self) -> None:
+        if not self._running:
+            return
+        if not self.radio.is_transmitting(self.sim.now):
+            length_us = max(40.0, float(
+                self._rng.exponential(self.mean_burst_us)))
+            # Burst length is encoded as a PDU long enough to span it
+            # (8 µs per byte at LE 1M equivalence).
+            pdu_len = min(250, max(1, int(length_us / 8.0) - 8))
+            channel = int(self._rng.choice(self.channels))
+            self.radio.transmit(_NOISE_AA, bytes(pdu_len), 0, channel)
+            self.bursts_sent += 1
+        self._schedule_next()
+
+
+class RogueAdvertiser:
+    """A chatty BLE advertiser congesting the advertising channels.
+
+    Models the "several other BLE devices" of the paper's environment:
+    it stresses CONNECT_REQ capture and initiator scanning.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        name: str = "rogue-adv",
+        adv_interval_ms: float = 25.0,
+        tx_power_dbm: float = 0.0,
+    ):
+        from repro.host.gap import adv_data_with_name
+        from repro.ll.pdu.address import BdAddress
+        from repro.ll.slave import SlaveLinkLayer
+
+        self.ll = SlaveLinkLayer(
+            sim, medium, name,
+            BdAddress.generate(sim.streams.get(f"addr-{name}")),
+            adv_interval_ms=adv_interval_ms,
+            adv_data=adv_data_with_name(name),
+            tx_power_dbm=tx_power_dbm,
+        )
+
+    def start(self) -> None:
+        """Begin advertising."""
+        self.ll.start_advertising()
+
+    def stop(self) -> None:
+        """Stop advertising."""
+        self.ll.stop_advertising()

@@ -1,0 +1,260 @@
+"""The shared radio medium.
+
+The medium connects transceivers: it propagates every transmission to every
+listening transceiver, applying path loss (distance, walls, shadowing),
+receiver locking, and the capture-effect collision model.
+
+Receiver locking
+----------------
+A real BLE receiver correlates on the preamble/access address and, once
+synchronised to a frame, demodulates it to the end; a frame that starts
+while the receiver is busy is seen only as interference.  This is the exact
+mechanism the InjectaBLE race relies on: if the injected frame starts
+*before* the legitimate Master frame, the Slave locks onto the injected one
+and the Master frame can only corrupt it (paper Fig. 5, situations a/b),
+whereas if the Master starts first the injection fails outright
+(situation c).
+
+The medium implements this by assigning locks at transmission *start* time:
+an eligible listening receiver that is not already locked becomes locked to
+the new frame until its end.  At frame end the locked frame is resolved
+against every overlapping transmission and delivered (possibly corrupted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import MediumError
+from repro.phy.collision import CollisionModel, Overlap
+from repro.phy.path_loss import PathLossModel
+from repro.phy.signal import RadioFrame
+from repro.sim.simulator import Simulator
+from repro.sim.topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.transceiver import Transceiver
+
+
+@dataclass
+class _ActiveTransmission:
+    """Bookkeeping for a frame currently on air."""
+
+    frame: RadioFrame
+    sender: "Transceiver"
+    # Received power per receiver id, sampled once at start.
+    rx_power_dbm: dict[int, float] = field(default_factory=dict)
+
+
+@dataclass
+class _ReceiverLock:
+    """A receiver synchronised to one in-flight frame."""
+
+    frame_id: int
+    until_us: float
+
+
+class Medium:
+    """Radio propagation between registered transceivers.
+
+    Args:
+        sim: owning simulator (scheduling and RNG streams).
+        topology: device positions and walls.
+        path_loss: propagation model.
+        collision: capture-effect model.
+        sensitivity_dbm: default receiver sensitivity; frames arriving below
+            it neither lock nor deliver.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Optional[Topology] = None,
+        path_loss: Optional[PathLossModel] = None,
+        collision: Optional[CollisionModel] = None,
+        sensitivity_dbm: float = -90.0,
+    ):
+        self.sim = sim
+        self.topology = topology if topology is not None else Topology()
+        self.path_loss = path_loss if path_loss is not None else PathLossModel()
+        self.collision = collision if collision is not None else CollisionModel()
+        self.sensitivity_dbm = sensitivity_dbm
+        self._transceivers: dict[int, "Transceiver"] = {}
+        self._next_id = 0
+        self._active: list[_ActiveTransmission] = []
+        self._recent: list[_ActiveTransmission] = []
+        self._locks: dict[int, _ReceiverLock] = {}
+        self._shadow_rng = sim.streams.get("medium-shadowing")
+        self._collision_rng = sim.streams.get("medium-collision")
+        self._taps: list = []
+
+    def register(self, transceiver: "Transceiver") -> int:
+        """Attach a transceiver; returns its medium id."""
+        tid = self._next_id
+        self._next_id += 1
+        self._transceivers[tid] = transceiver
+        return tid
+
+    # ------------------------------------------------------------------
+    # Transmission path
+    # ------------------------------------------------------------------
+
+    def transmit(self, frame: RadioFrame, sender: "Transceiver") -> None:
+        """Put ``frame`` on air; called by the sender at frame start time."""
+        if sender.medium_id not in self._transceivers:
+            raise MediumError(f"transceiver {sender.name!r} is not registered")
+        if abs(frame.start_us - self.sim.now) > 1e-6:
+            raise MediumError(
+                f"frame start {frame.start_us} != now {self.sim.now}"
+            )
+        tx = _ActiveTransmission(frame=frame, sender=sender)
+        self._sample_rx_powers(tx)
+        self._active.append(tx)
+        self._assign_locks(tx)
+        self.sim.trace.record(
+            self.sim.now, sender.name, "tx",
+            channel=frame.channel, aa=frame.access_address,
+            pdu_len=len(frame.pdu), frame_id=frame.frame_id,
+        )
+        self.sim.schedule_at(frame.end_us, lambda: self._finish(tx), "medium-finish")
+        for tap in self._taps:
+            tap(frame)
+
+    def _sample_rx_powers(self, tx: _ActiveTransmission) -> None:
+        """Sample the received power of ``tx`` at every other transceiver."""
+        sender = tx.sender
+        for tid, rx in self._transceivers.items():
+            if tid == sender.medium_id:
+                continue
+            distance = self.topology.distance(sender.name, rx.name)
+            walls = self.topology.walls_between(sender.name, rx.name)
+            power = self.path_loss.received_power_dbm(
+                tx.frame.tx_power_dbm, distance, self._shadow_rng, walls
+            )
+            tx.rx_power_dbm[tid] = power
+
+    def _assign_locks(self, tx: _ActiveTransmission) -> None:
+        """Lock every eligible idle listening receiver onto ``tx``."""
+        now = self.sim.now
+        for tid, rx in self._transceivers.items():
+            if tid == tx.sender.medium_id:
+                continue
+            if not rx.is_listening_on(tx.frame.channel, since_us=now):
+                continue
+            if rx.rx_phy is not tx.frame.phy:
+                continue  # wrong symbol rate: no preamble correlation
+            if rx.is_transmitting(at_us=now):
+                continue  # half duplex
+            if tx.rx_power_dbm[tid] < max(self.sensitivity_dbm, rx.sensitivity_dbm):
+                continue
+            lock = self._locks.get(tid)
+            if lock is not None and lock.until_us > now + 1e-9:
+                # Receiver busy demodulating an earlier frame: this frame is
+                # interference only (handled at resolution time).
+                self.sim.trace.record(
+                    now, rx.name, "rx-busy",
+                    frame_id=tx.frame.frame_id, locked_to=lock.frame_id,
+                )
+                continue
+            self._locks[tid] = _ReceiverLock(tx.frame.frame_id, tx.frame.end_us)
+            self.sim.trace.record(
+                now, rx.name, "rx-lock",
+                frame_id=tx.frame.frame_id, channel=tx.frame.channel,
+                rssi_dbm=tx.rx_power_dbm[tid],
+            )
+
+    def _finish(self, tx: _ActiveTransmission) -> None:
+        """Frame finished: resolve collisions and deliver to locked receivers."""
+        self._active.remove(tx)
+        self._recent.append(tx)
+        # Bound the memory of past transmissions: only frames overlapping a
+        # still-active one matter.
+        horizon = self.sim.now - 20_000.0
+        self._recent = [t for t in self._recent if t.frame.end_us >= horizon]
+        tx.sender.on_tx_done(tx.frame)
+
+        for tid, lock in list(self._locks.items()):
+            if lock.frame_id != tx.frame.frame_id:
+                continue
+            del self._locks[tid]
+            rx = self._transceivers[tid]
+            if not rx.is_listening_on(tx.frame.channel, since_us=None):
+                # Receiver gave up (window closed) before the frame ended.
+                self.sim.trace.record(
+                    self.sim.now, rx.name, "rx-abandoned",
+                    frame_id=tx.frame.frame_id,
+                )
+                continue
+            copy = tx.frame.copy_for_receiver()
+            outcome = self._resolve_interference(tx, tid)
+            if outcome is not None and not outcome.survived:
+                copy.corrupted = True
+            self.sim.trace.record(
+                self.sim.now, rx.name, "rx",
+                frame_id=copy.frame_id, corrupted=copy.corrupted,
+                rssi_dbm=tx.rx_power_dbm[tid],
+            )
+            rx.deliver(copy, tx.rx_power_dbm[tid])
+
+    def _resolve_interference(self, tx: _ActiveTransmission, receiver_id: int):
+        """Resolve ``tx`` against all frames overlapping it at ``receiver_id``."""
+        overlaps: list[Overlap] = []
+        wanted_power = tx.rx_power_dbm[receiver_id]
+        for other in self._active + self._recent:
+            if other.frame.frame_id == tx.frame.frame_id:
+                continue
+            if other.sender.medium_id == receiver_id:
+                continue  # a receiver is deaf to its own TX, not corrupted by it
+            if not other.frame.overlaps(tx.frame):
+                continue
+            interferer_power = other.rx_power_dbm.get(receiver_id)
+            if interferer_power is None:
+                continue
+            overlaps.append(
+                Overlap(
+                    start_us=max(tx.frame.start_us, other.frame.start_us),
+                    end_us=min(tx.frame.end_us, other.frame.end_us),
+                    sir_db=wanted_power - interferer_power,
+                )
+            )
+        if not overlaps:
+            return None
+        outcome = self.collision.resolve(tx.frame, overlaps, self._collision_rng)
+        self.sim.trace.record(
+            self.sim.now, self._transceivers[receiver_id].name, "collision",
+            frame_id=tx.frame.frame_id,
+            overlapped_bits=outcome.overlapped_bits,
+            corrupted_bits=outcome.corrupted_bits,
+            survived=outcome.survived,
+        )
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def active_on_channel(self, channel: int) -> list[RadioFrame]:
+        """Frames currently on air on ``channel`` (for IDS-style monitors)."""
+        return [t.frame for t in self._active if t.frame.channel == channel]
+
+    def add_tap(self, tap) -> None:
+        """Register a wideband monitor callback, called at every frame start.
+
+        Models an SDR-based IDS (RadIoT-style, paper §VIII): the tap sees
+        frame metadata (time, channel, AA, duration) but not per-receiver
+        corruption outcomes.
+        """
+        self._taps.append(tap)
+
+    def lock_end_of(self, transceiver: "Transceiver") -> Optional[float]:
+        """End time of the frame ``transceiver`` is locked onto, or ``None``.
+
+        Receivers use this to keep their window open to the end of a frame
+        they are already demodulating (real radios finish the packet even if
+        the nominal window closes mid-frame).
+        """
+        lock = self._locks.get(transceiver.medium_id)
+        if lock is None or lock.until_us <= self.sim.now + 1e-9:
+            return None
+        return lock.until_us

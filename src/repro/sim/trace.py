@@ -1,0 +1,80 @@
+"""Structured trace of simulation activity.
+
+Experiments and the success-detection heuristic both need an audit trail of
+what happened on air and inside the state machines.  The trace is a flat,
+append-only list of typed records that analysis code filters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry.
+
+    Attributes:
+        time_us: true simulator time of the event.
+        source: name of the emitting component (device name, "medium", ...).
+        kind: machine-readable event type, e.g. ``"tx"``, ``"rx"``,
+            ``"collision"``, ``"anchor"``, ``"injection-attempt"``.
+        detail: free-form payload (kept small; no object graphs).
+    """
+
+    time_us: float
+    source: str
+    kind: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+class Trace:
+    """Append-only simulation trace with simple query helpers."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._records: list[TraceRecord] = []
+
+    def record(
+        self, time_us: float, source: str, kind: str, **detail: Any
+    ) -> None:
+        """Append a record (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self._records.append(TraceRecord(time_us, source, kind, detail))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def filter(
+        self,
+        kind: Optional[str] = None,
+        source: Optional[str] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> list[TraceRecord]:
+        """Records matching all the provided criteria."""
+        out = []
+        for rec in self._records:
+            if kind is not None and rec.kind != kind:
+                continue
+            if source is not None and rec.source != source:
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            out.append(rec)
+        return out
+
+    def last(self, kind: str) -> Optional[TraceRecord]:
+        """Most recent record of the given kind, or ``None``."""
+        for rec in reversed(self._records):
+            if rec.kind == kind:
+                return rec
+        return None
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self._records.clear()

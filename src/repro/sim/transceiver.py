@@ -1,0 +1,172 @@
+"""A half-duplex radio transceiver bound to the medium.
+
+The transceiver is the boundary between the Link-Layer state machines and
+the physical simulation: the LL asks it to listen on a channel or to
+transmit a frame; the medium calls back with received frames and their
+RSSI.  It is deliberately dumb — no protocol knowledge — so the same
+transceiver serves legitimate devices, the sniffer and the attacker.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+from repro.errors import MediumError
+from repro.phy.modulation import PhyMode, air_time_us
+from repro.phy.signal import RadioFrame
+from repro.sim.clock import SleepClock
+from repro.sim.medium import Medium
+from repro.sim.simulator import Simulator
+
+#: Type of the receive callback: (frame, rssi_dbm) -> None.
+RxCallback = Callable[[RadioFrame, float], None]
+
+
+class TransceiverState(enum.Enum):
+    """Radio state."""
+
+    IDLE = "idle"
+    RX = "rx"
+    TX = "tx"
+
+
+class Transceiver:
+    """Half-duplex radio front end.
+
+    Args:
+        sim: owning simulator.
+        medium: shared radio medium (must be able to locate ``name`` in its
+            topology).
+        name: device name; must match a topology placement.
+        clock: the device's sleep clock (used by callers to schedule).
+        tx_power_dbm: transmit power; 0 dBm is typical for BLE.
+        sensitivity_dbm: below this received power nothing is heard.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        name: str,
+        clock: Optional[SleepClock] = None,
+        tx_power_dbm: float = 0.0,
+        sensitivity_dbm: float = -90.0,
+    ):
+        self.sim = sim
+        self.medium = medium
+        self.name = name
+        self.clock = clock if clock is not None else SleepClock(
+            rng=sim.streams.get(f"clock-{name}")
+        )
+        self.tx_power_dbm = tx_power_dbm
+        self.sensitivity_dbm = sensitivity_dbm
+        self.medium_id = medium.register(self)
+        #: PHY the receiver is demodulating; a frame on another PHY cannot
+        #: be locked (GFSK at a different symbol rate does not correlate).
+        self.rx_phy: PhyMode = PhyMode.LE_1M
+        self._state = TransceiverState.IDLE
+        self._rx_channel: Optional[int] = None
+        self._rx_since_us: Optional[float] = None
+        self._tx_until_us = -1.0
+        self.on_frame: Optional[RxCallback] = None
+        self.on_tx_complete: Optional[Callable[[RadioFrame], None]] = None
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> TransceiverState:
+        """Current radio state."""
+        if self._tx_until_us > self.sim.now:
+            return TransceiverState.TX
+        if self._rx_channel is not None:
+            return TransceiverState.RX
+        return TransceiverState.IDLE
+
+    def is_listening_on(self, channel: int, since_us: Optional[float]) -> bool:
+        """Whether the radio is in RX on ``channel``.
+
+        Args:
+            channel: channel to test.
+            since_us: if given, also require listening to have begun at or
+                before this time (a receiver that tuned in mid-frame cannot
+                sync on the preamble).
+        """
+        if self._rx_channel != channel:
+            return False
+        if since_us is not None and self._rx_since_us is not None:
+            return self._rx_since_us <= since_us + 1e-9
+        return True
+
+    def is_transmitting(self, at_us: float) -> bool:
+        """Whether a transmission of ours is still on air at ``at_us``."""
+        return self._tx_until_us > at_us + 1e-9
+
+    # ------------------------------------------------------------------
+    # Radio operations
+    # ------------------------------------------------------------------
+
+    def listen(self, channel: int) -> None:
+        """Enter RX on ``channel`` (replacing any previous RX window)."""
+        if not 0 <= channel < 40:
+            raise MediumError(f"invalid channel {channel}")
+        self._rx_channel = channel
+        self._rx_since_us = self.sim.now
+
+    def stop_listening(self) -> None:
+        """Leave RX."""
+        self._rx_channel = None
+        self._rx_since_us = None
+
+    def transmit(
+        self,
+        access_address: int,
+        pdu: bytes,
+        crc: int,
+        channel: int,
+        phy: PhyMode = PhyMode.LE_1M,
+    ) -> RadioFrame:
+        """Start transmitting a frame now; returns the on-air frame.
+
+        The radio is half duplex: transmitting suspends reception for the
+        duration of the frame (this is why the attacker cannot directly
+        observe the legitimate Master frame it races against, paper §V-D).
+        """
+        if self.is_transmitting(self.sim.now):
+            raise MediumError(f"{self.name}: already transmitting")
+        frame = RadioFrame(
+            access_address=access_address,
+            pdu=pdu,
+            crc=crc,
+            channel=channel,
+            start_us=self.sim.now,
+            tx_power_dbm=self.tx_power_dbm,
+            phy=phy,
+            sender_id=self.medium_id,
+        )
+        self._tx_until_us = frame.end_us
+        self.medium.transmit(frame, self)
+        return frame
+
+    def tx_duration_us(self, pdu_len: int, phy: PhyMode = PhyMode.LE_1M) -> float:
+        """Air time this radio would need for a ``pdu_len``-byte PDU."""
+        return air_time_us(pdu_len, phy)
+
+    # ------------------------------------------------------------------
+    # Medium callbacks
+    # ------------------------------------------------------------------
+
+    def deliver(self, frame: RadioFrame, rssi_dbm: float) -> None:
+        """Called by the medium when a frame addressed our way completes."""
+        if self.on_frame is not None:
+            self.on_frame(frame, rssi_dbm)
+
+    def on_tx_done(self, frame: RadioFrame) -> None:
+        """Called by the medium when our own transmission completes."""
+        if self.on_tx_complete is not None:
+            self.on_tx_complete(frame)
+
+    def __repr__(self) -> str:
+        return f"Transceiver({self.name!r}, state={self.state.value})"

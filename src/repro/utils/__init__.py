@@ -1,0 +1,37 @@
+"""Shared low-level utilities: byte codecs, bit fields, time units, RNG streams."""
+
+from repro.utils.bits import (
+    bit_reverse_byte,
+    bit_reverse_bytes,
+    bytes_to_int_le,
+    extract_bits,
+    insert_bits,
+    int_to_bytes_le,
+)
+from repro.utils.rand import RngStreams
+from repro.utils.units import (
+    MICROSECONDS_PER_SECOND,
+    PPM,
+    SLOT_US,
+    T_IFS_US,
+    ms_to_us,
+    ppm_drift_us,
+    s_to_us,
+)
+
+__all__ = [
+    "MICROSECONDS_PER_SECOND",
+    "PPM",
+    "SLOT_US",
+    "T_IFS_US",
+    "RngStreams",
+    "bit_reverse_byte",
+    "bit_reverse_bytes",
+    "bytes_to_int_le",
+    "extract_bits",
+    "insert_bits",
+    "int_to_bytes_le",
+    "ms_to_us",
+    "ppm_drift_us",
+    "s_to_us",
+]

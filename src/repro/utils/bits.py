@@ -1,0 +1,64 @@
+"""Bit- and byte-level helpers used throughout the PHY and Link-Layer codecs.
+
+BLE transmits least-significant bit first and encodes multi-byte fields
+little-endian; these helpers centralise those conventions so PDU codecs
+stay declarative.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CodecError
+
+
+def int_to_bytes_le(value: int, length: int) -> bytes:
+    """Encode ``value`` as ``length`` little-endian bytes.
+
+    Args:
+        value: non-negative integer to encode.
+        length: number of bytes of the output.
+
+    Raises:
+        CodecError: if the value is negative or does not fit.
+    """
+    if value < 0:
+        raise CodecError(f"cannot encode negative value {value}")
+    if value >= 1 << (8 * length):
+        raise CodecError(f"value {value:#x} does not fit in {length} bytes")
+    return value.to_bytes(length, "little")
+
+
+def bytes_to_int_le(data: bytes) -> int:
+    """Decode little-endian bytes into a non-negative integer."""
+    return int.from_bytes(data, "little")
+
+
+_REVERSE_TABLE = bytes(
+    sum(((byte >> bit) & 1) << (7 - bit) for bit in range(8)) for byte in range(256)
+)
+
+
+def bit_reverse_byte(byte: int) -> int:
+    """Reverse the bit order of a single byte (MSB<->LSB)."""
+    if not 0 <= byte <= 0xFF:
+        raise CodecError(f"byte out of range: {byte}")
+    return _REVERSE_TABLE[byte]
+
+
+def bit_reverse_bytes(data: bytes) -> bytes:
+    """Reverse the bit order of every byte in ``data`` (byte order kept)."""
+    return bytes(_REVERSE_TABLE[b] for b in data)
+
+
+def extract_bits(value: int, offset: int, width: int) -> int:
+    """Return ``width`` bits of ``value`` starting at bit ``offset`` (LSB=0)."""
+    if offset < 0 or width <= 0:
+        raise CodecError(f"invalid bit slice offset={offset} width={width}")
+    return (value >> offset) & ((1 << width) - 1)
+
+
+def insert_bits(value: int, offset: int, width: int, field: int) -> int:
+    """Return ``value`` with ``width`` bits at ``offset`` replaced by ``field``."""
+    if field < 0 or field >= 1 << width:
+        raise CodecError(f"field {field} does not fit in {width} bits")
+    mask = ((1 << width) - 1) << offset
+    return (value & ~mask) | (field << offset)

@@ -1,0 +1,43 @@
+"""Time units and spec constants.
+
+All simulator timestamps are floats in **microseconds**; BLE's Link-Layer
+arithmetic is specified in multiples of 1.25 ms slots and the 150 µs
+inter-frame spacing, both defined here.
+"""
+
+from __future__ import annotations
+
+MICROSECONDS_PER_SECOND = 1_000_000
+
+#: Parts-per-million divisor used by sleep-clock-accuracy arithmetic.
+PPM = 1_000_000
+
+#: BLE Link-Layer time slot: WinSize/WinOffset/HopInterval are multiples of this.
+SLOT_US = 1250.0
+
+#: Inter-frame spacing between packets of the same connection event (T_IFS).
+T_IFS_US = 150.0
+
+
+def ms_to_us(milliseconds: float) -> float:
+    """Convert milliseconds to microseconds."""
+    return milliseconds * 1000.0
+
+
+def s_to_us(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return seconds * float(MICROSECONDS_PER_SECOND)
+
+
+def ppm_drift_us(sca_ppm: float, interval_us: float) -> float:
+    """Worst-case clock drift accumulated over ``interval_us`` at ``sca_ppm``.
+
+    This is the core term of the window-widening formula (paper eq. 4/5):
+    a clock accurate to ``sca_ppm`` parts per million may drift by
+    ``sca_ppm / 1e6 * interval_us`` microseconds over the interval.
+    """
+    if sca_ppm < 0:
+        raise ValueError(f"negative sleep clock accuracy: {sca_ppm}")
+    if interval_us < 0:
+        raise ValueError(f"negative interval: {interval_us}")
+    return sca_ppm / PPM * interval_us

@@ -1,0 +1,153 @@
+"""Tests for the related-work baselines (paper §II comparison)."""
+
+import pytest
+
+from repro.core.attacker import Attacker
+from repro.core.baselines import BtleJackHijack, BtleJuiceMitm, GattackerMitm
+from repro.devices import Lightbulb, Smartphone
+from repro.host.stack import CentralHost
+from repro.ll.master import MasterLinkLayer
+from repro.ll.pdu.address import BdAddress
+from repro.sim.medium import Medium
+from repro.sim.simulator import Simulator
+from repro.sim.topology import Topology
+
+
+def build_btlejack_world(seed=71, timeout=100):
+    sim = Simulator(seed=seed)
+    topo = Topology.equilateral_triangle(("bulb", "phone", "attacker"))
+    medium = Medium(sim, topo)
+    bulb = Lightbulb(sim, medium, "bulb")
+    phone = MasterLinkLayer(sim, medium, "phone",
+                            BdAddress.from_str("C0:FF:EE:00:00:07"),
+                            interval=36, timeout=timeout)
+    CentralHost(phone)
+    attacker = Attacker(sim, medium, "attacker")
+    attacker.sniff_new_connections()
+    bulb.power_on()
+    phone.connect(bulb.address)
+    sim.run(until_us=1_500_000)
+    assert attacker.synchronized
+    attacker.release_radio()
+    return sim, bulb, phone, attacker
+
+
+class TestBtleJack:
+    def test_hijack_succeeds(self):
+        sim, bulb, phone, attacker = build_btlejack_world()
+        results = []
+        hijack = BtleJackHijack(sim, attacker.radio, attacker.connection)
+        hijack.start(on_done=results.append)
+        sim.run(until_us=30_000_000)
+        assert results and results[0].hijacked
+
+    def test_master_starved_out(self):
+        sim, bulb, phone, attacker = build_btlejack_world(seed=72)
+        reasons = []
+        phone.on_disconnected = reasons.append
+        hijack = BtleJackHijack(sim, attacker.radio, attacker.connection)
+        hijack.start()
+        sim.run(until_us=30_000_000)
+        assert reasons == ["supervision timeout"]
+
+    def test_slave_answers_the_attacker(self):
+        sim, bulb, phone, attacker = build_btlejack_world(seed=73)
+        results = []
+        hijack = BtleJackHijack(sim, attacker.radio, attacker.connection)
+        hijack.start(on_done=results.append)
+        sim.run(until_us=30_000_000)
+        fake = results[0].fake_master
+        assert fake.responses_heard > 10
+        assert bulb.ll.is_connected
+
+    def test_jamming_cost_scales_with_timeout(self):
+        """The paper's stealth argument: jamming needs a frame per event
+        for a whole supervision timeout, InjectaBLE needs a handful."""
+        sim, bulb, phone, attacker = build_btlejack_world(seed=74,
+                                                          timeout=100)
+        results = []
+        hijack = BtleJackHijack(sim, attacker.radio, attacker.connection)
+        hijack.start(on_done=results.append)
+        sim.run(until_us=30_000_000)
+        # timeout 1 s at 45 ms interval ≈ 22 events of jamming.
+        assert results[0].jam_frames >= 15
+
+
+def build_spoof_world(seed):
+    sim = Simulator(seed=seed)
+    topo = Topology()
+    topo.place("bulb", 0.0, 0.0)
+    topo.place("phone", 2.0, 0.0)
+    topo.place("attacker", 1.0, 1.0)
+    medium = Medium(sim, topo)
+    bulb = Lightbulb(sim, medium, "bulb")
+    phone = Smartphone(sim, medium, "phone")
+    return sim, medium, bulb, phone
+
+
+class TestGattacker:
+    def test_pre_connection_capture(self):
+        sim, medium, bulb, phone = build_spoof_world(seed=81)
+        tool = GattackerMitm(sim, medium, "attacker", victim=bulb)
+        bulb.power_on()
+        tool.start()
+        sim.run(until_us=300_000)
+        phone.connect_to(bulb.address)
+        sim.run(until_us=10_000_000)
+        assert tool.result.central_captured
+
+    def test_cannot_attack_established_connection(self):
+        """The gap InjectaBLE closes: spoofing tools need the advertising
+        phase; once connected, there is nothing to spoof."""
+        sim, medium, bulb, phone = build_spoof_world(seed=82)
+        tool = GattackerMitm(sim, medium, "attacker", victim=bulb)
+        bulb.power_on()
+        phone.connect_to(bulb.address)
+        sim.run(until_us=2_000_000)
+        assert phone.is_connected
+        tool.start()
+        sim.run(until_us=12_000_000)
+        assert not tool.result.central_captured
+        assert phone.is_connected  # victims unaffected
+
+    def test_forwards_writes_to_real_device(self):
+        sim, medium, bulb, phone = build_spoof_world(seed=83)
+        tool = GattackerMitm(sim, medium, "attacker", victim=bulb)
+        bulb.power_on()
+        tool.start()
+        sim.run(until_us=300_000)
+        phone.connect_to(bulb.address)
+        sim.run(until_us=10_000_000)
+        if not tool.result.central_captured or not tool.result.proxy_connected:
+            pytest.skip("race lost in this seed; capture covered elsewhere")
+        clone_ctrl = tool.clone_gatt.find_characteristic(0xFF11)
+        phone.gatt.write(clone_ctrl.value_handle,
+                         Lightbulb.power_payload(False))
+        sim.run(until_us=sim.now + 5_000_000)
+        assert tool.result.forwarded_writes >= 1
+        assert not bulb.is_on
+
+
+class TestBtleJuice:
+    def test_pre_connection_interposition(self):
+        sim, medium, bulb, phone = build_spoof_world(seed=84)
+        tool = BtleJuiceMitm(sim, medium, "attacker", victim=bulb)
+        bulb.power_on()
+        tool.start()
+        sim.run(until_us=2_000_000)
+        assert tool.result.proxy_connected  # silenced the real device
+        phone.connect_to(bulb.address)
+        sim.run(until_us=12_000_000)
+        assert tool.result.central_captured
+
+    def test_cannot_attack_established_connection(self):
+        sim, medium, bulb, phone = build_spoof_world(seed=85)
+        tool = BtleJuiceMitm(sim, medium, "attacker", victim=bulb)
+        bulb.power_on()
+        phone.connect_to(bulb.address)
+        sim.run(until_us=2_000_000)
+        tool.start()
+        sim.run(until_us=12_000_000)
+        # The real device is busy: the proxy cannot even connect.
+        assert not tool.result.central_captured
+        assert phone.is_connected

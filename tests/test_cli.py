@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_defaults(self):
+        args = build_parser().parse_args(["experiment", "hop"])
+        assert args.which == "hop"
+        assert args.connections == 10
+
+    def test_scenario_device_choices(self):
+        args = build_parser().parse_args(
+            ["scenario", "b", "--device", "keyfob"])
+        assert args.which == "b" and args.device == "keyfob"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_experiment_payload_small(self, capsys):
+        code = main(["experiment", "payload", "--connections", "3",
+                     "--seed", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PDU size" in out
+        assert "worst-case success rate: 1.00" in out
+
+    def test_scenario_a(self, capsys):
+        code = main(["scenario", "a", "--device", "bulb", "--seed", "1100"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "OK" in out
+
+    def test_capture(self, capsys):
+        code = main(["capture", "--duration", "1.2", "--limit", "10"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CONNECT_REQ" in out
+        assert "frames captured" in out
+
+    def test_crack(self, capsys):
+        code = main(["crack", "--seed", "90"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "TK (PIN) : 0" in out
+        assert "LL session key" in out

@@ -1,0 +1,173 @@
+"""Integration tests for the InjectaBLE injector (paper §V)."""
+
+import pytest
+
+from repro.core.attacker import Attacker
+from repro.core.injection import InjectionConfig, InjectionOutcome
+from repro.devices import Lightbulb, Smartphone
+from repro.errors import InjectionError
+from repro.host.att.pdus import WriteReq
+from repro.host.l2cap import CID_ATT, l2cap_encode
+from repro.ll.pdu.data import LLID
+from repro.sim.medium import Medium
+from repro.sim.simulator import Simulator
+from repro.sim.topology import Topology
+
+
+def build_attack_world(seed=11, interval=75, max_attempts=100):
+    sim = Simulator(seed=seed)
+    topo = Topology.equilateral_triangle(("bulb", "phone", "attacker"))
+    medium = Medium(sim, topo)
+    bulb = Lightbulb(sim, medium, "bulb")
+    phone = Smartphone(sim, medium, "phone", interval=interval)
+    attacker = Attacker(
+        sim, medium, "attacker",
+        injection_config=InjectionConfig(max_attempts=max_attempts))
+    attacker.sniff_new_connections()
+    bulb.power_on()
+    phone.connect_to(bulb.address)
+    sim.run(until_us=1_500_000)
+    assert attacker.synchronized
+    return sim, bulb, phone, attacker
+
+
+def bulb_off_payload(bulb):
+    handle = bulb.gatt.find_characteristic(0xFF11).value_handle
+    att = WriteReq(handle, Lightbulb.power_payload(False, pad_to=5)).to_bytes()
+    return l2cap_encode(CID_ATT, att)
+
+
+class TestInjection:
+    def test_injection_succeeds(self):
+        sim, bulb, phone, attacker = build_attack_world()
+        reports = []
+        attacker.inject(bulb_off_payload(bulb), on_done=reports.append)
+        sim.run(until_us=60_000_000)
+        assert reports and reports[0].outcome is InjectionOutcome.SUCCESS
+
+    def test_device_feature_triggered(self):
+        """The injected Write Request must actually turn the bulb off —
+        the paper validates its heuristic with visible effects."""
+        sim, bulb, phone, attacker = build_attack_world(seed=12)
+        reports = []
+        attacker.inject(bulb_off_payload(bulb), on_done=reports.append)
+        sim.run(until_us=60_000_000)
+        assert reports[0].success
+        assert not bulb.is_on
+
+    def test_connection_survives_injection(self):
+        """Challenge C2: the connection state stays consistent."""
+        sim, bulb, phone, attacker = build_attack_world(seed=13)
+        reports = []
+        attacker.inject(bulb_off_payload(bulb), on_done=reports.append)
+        sim.run(until_us=60_000_000)
+        assert reports[0].success
+        sim.run(until_us=sim.now + 3_000_000)
+        assert phone.is_connected and bulb.ll.is_connected
+
+    def test_heuristic_agrees_with_ground_truth(self):
+        """When the heuristic reports success, the Slave really accepted
+        the frame (and vice versa for the final attempt)."""
+        sim, bulb, phone, attacker = build_attack_world(seed=14)
+        reports = []
+        attacker.inject(bulb_off_payload(bulb), on_done=reports.append)
+        sim.run(until_us=60_000_000)
+        report = reports[0]
+        assert report.success == (not bulb.is_on)
+
+    def test_attempt_records_populated(self):
+        sim, bulb, phone, attacker = build_attack_world(seed=15)
+        reports = []
+        attacker.inject(bulb_off_payload(bulb), on_done=reports.append)
+        sim.run(until_us=60_000_000)
+        report = reports[0]
+        assert len(report.records) == report.attempts
+        last = report.records[-1]
+        assert last.verdict is not None and last.verdict.success
+        assert last.d_a == pytest.approx(176.0)  # 22-byte frame
+
+    def test_injected_frame_timed_at_window_opening(self):
+        """The frame must start ~w before the legitimate anchor."""
+        sim, bulb, phone, attacker = build_attack_world(seed=16)
+        reports = []
+        attacker.inject(bulb_off_payload(bulb), on_done=reports.append)
+        sim.run(until_us=60_000_000)
+        report = reports[0]
+        success = report.records[-1]
+        # Find the Master transmission of the same event.
+        master_txs = [r.time_us for r in
+                      sim.trace.filter(source="phone", kind="master-tx")]
+        later = [t for t in master_txs if t > success.t_a]
+        assert later
+        gap = later[0] - success.t_a
+        w_est = attacker.connection.estimated_widening_us()
+        # The Master transmitted within ~2x the widening after us.
+        assert 0 < gap < 3 * w_est + 20
+
+    def test_multiple_sequential_injections(self):
+        sim, bulb, phone, attacker = build_attack_world(seed=17)
+        reports = []
+        attacker.inject(bulb_off_payload(bulb), on_done=reports.append)
+        sim.run(until_us=60_000_000)
+        assert reports[0].success and not bulb.is_on
+        # Second injection: turn it back on, reusing the fresh state.
+        handle = bulb.gatt.find_characteristic(0xFF11).value_handle
+        payload = l2cap_encode(
+            CID_ATT,
+            WriteReq(handle, Lightbulb.power_payload(True, pad_to=5)).to_bytes())
+        attacker.inject(payload, on_done=reports.append)
+        sim.run(until_us=sim.now + 60_000_000)
+        assert len(reports) == 2 and reports[1].success
+        assert bulb.is_on
+
+    def test_max_attempts_respected(self):
+        # An impossible injection (victims out of radio range of attacker)
+        # must stop at the configured budget or report loss.
+        sim = Simulator(seed=18)
+        topo = Topology()
+        topo.place("bulb", 0.0, 0.0)
+        topo.place("phone", 2.0, 0.0)
+        topo.place("attacker", 1.0, 1.0)
+        medium = Medium(sim, topo)
+        bulb = Lightbulb(sim, medium, "bulb")
+        phone = Smartphone(sim, medium, "phone", interval=75)
+        attacker = Attacker(sim, medium, "attacker",
+                            injection_config=InjectionConfig(max_attempts=5))
+        attacker.sniff_new_connections()
+        bulb.power_on()
+        phone.connect_to(bulb.address)
+        sim.run(until_us=1_500_000)
+        # Move the attacker out of range *after* synchronisation.
+        medium.topology.place("attacker", 5000.0, 5000.0)
+        reports = []
+        attacker.inject(bulb_off_payload(bulb), on_done=reports.append)
+        sim.run(until_us=120_000_000)
+        assert reports
+        assert reports[0].outcome in (InjectionOutcome.MAX_ATTEMPTS,
+                                      InjectionOutcome.CONNECTION_LOST)
+        assert reports[0].attempts <= 5
+
+    def test_injector_busy_rejected(self):
+        sim, bulb, phone, attacker = build_attack_world(seed=19)
+        attacker.release_radio()
+        attacker.injector.start(attacker.connection, b"\x01\x00\x04\x00x",
+                                LLID.DATA_START, None)
+        with pytest.raises(InjectionError):
+            attacker.injector.start(attacker.connection, b"\x01\x00\x04\x00y",
+                                    LLID.DATA_START, None)
+
+    def test_control_injection(self):
+        from repro.ll.pdu.control import TerminateInd
+
+        sim, bulb, phone, attacker = build_attack_world(seed=20)
+        bulb.ll.readvertise_on_disconnect = False
+        reasons = []
+        phone.ll.on_disconnected = reasons.append
+        reports = []
+        attacker.inject_control(TerminateInd(), on_done=reports.append)
+        sim.run(until_us=60_000_000)
+        assert reports[0].success
+        assert not bulb.ll.is_connected      # Slave accepted the terminate
+        # The Master never saw the terminate: if it dropped at all, it was
+        # only through its own (much later) supervision timeout.
+        assert all("supervision" in r for r in reasons)

@@ -1,0 +1,162 @@
+"""Integration tests for the connection sniffer (both synchronisation paths)."""
+
+import pytest
+
+from repro.core.attacker import Attacker
+from repro.core.sniffer import modular_inverse
+from repro.devices import Lightbulb, Smartphone
+from repro.errors import SnifferError
+from repro.sim.medium import Medium
+from repro.sim.simulator import Simulator
+from repro.sim.topology import Topology
+
+
+def build_world(seed=1, interval=36):
+    sim = Simulator(seed=seed)
+    topo = Topology.equilateral_triangle(("bulb", "phone", "attacker"))
+    medium = Medium(sim, topo)
+    bulb = Lightbulb(sim, medium, "bulb")
+    phone = Smartphone(sim, medium, "phone", interval=interval)
+    attacker = Attacker(sim, medium, "attacker")
+    return sim, bulb, phone, attacker
+
+
+class TestModularInverse:
+    def test_inverse_property(self):
+        for k in range(1, 37):
+            assert (k * modular_inverse(k)) % 37 == 1
+
+    def test_zero_rejected(self):
+        with pytest.raises(SnifferError):
+            modular_inverse(0)
+
+
+class TestConnectReqCapture:
+    def test_synchronises_on_new_connection(self):
+        sim, bulb, phone, attacker = build_world()
+        attacker.sniff_new_connections()
+        bulb.power_on()
+        phone.connect_to(bulb.address)
+        sim.run(until_us=1_500_000)
+        assert attacker.synchronized
+
+    def test_captured_parameters_exact(self):
+        sim, bulb, phone, attacker = build_world()
+        attacker.sniff_new_connections()
+        bulb.power_on()
+        phone.connect_to(bulb.address)
+        sim.run(until_us=1_500_000)
+        truth = phone.ll.conn.params
+        captured = attacker.connection.params
+        assert captured.access_address == truth.access_address
+        assert captured.crc_init == truth.crc_init
+        assert captured.interval == truth.interval
+        assert captured.hop_increment == truth.hop_increment
+        assert captured.channel_map == truth.channel_map
+
+    def test_follows_anchors(self):
+        sim, bulb, phone, attacker = build_world()
+        attacker.sniff_new_connections()
+        bulb.power_on()
+        phone.connect_to(bulb.address)
+        sim.run(until_us=3_000_000)
+        conn = attacker.connection
+        assert conn.last_anchor_us is not None
+        assert conn.events_since_anchor <= 1
+
+    def test_observes_slave_bits(self):
+        sim, bulb, phone, attacker = build_world()
+        attacker.sniff_new_connections()
+        bulb.power_on()
+        phone.connect_to(bulb.address)
+        sim.run(until_us=2_000_000)
+        assert attacker.connection.slave_bits.seen
+        assert attacker.connection.master_bits.seen
+
+    def test_tracks_event_counter_with_victims(self):
+        sim, bulb, phone, attacker = build_world()
+        attacker.sniff_new_connections()
+        bulb.power_on()
+        phone.connect_to(bulb.address)
+        sim.run(until_us=3_000_000)
+        # The sniffer's channel mirrors the Master's next transmission.
+        assert attacker.connection.current_channel is not None
+
+    def test_follows_legitimate_connection_update(self):
+        sim, bulb, phone, attacker = build_world()
+        attacker.sniff_new_connections()
+        bulb.power_on()
+        phone.connect_to(bulb.address)
+        sim.run(until_us=1_500_000)
+        phone.ll.request_connection_update(interval=75)
+        sim.run(until_us=5_000_000)
+        assert attacker.connection.params.interval == 75
+        assert attacker.connection.alive
+        # Still anchored after the re-timing.
+        assert attacker.connection.events_since_anchor <= 1
+
+    def test_detects_termination(self):
+        sim, bulb, phone, attacker = build_world()
+        lost = []
+        attacker.sniffer.on_lost = lost.append
+        attacker.sniff_new_connections()
+        bulb.power_on()
+        phone.connect_to(bulb.address)
+        sim.run(until_us=1_500_000)
+        phone.ll.terminate()
+        sim.run(until_us=4_000_000)
+        assert lost == ["terminated"]
+        assert not attacker.connection.alive
+
+    def test_loses_silent_connection(self):
+        sim, bulb, phone, attacker = build_world()
+        lost = []
+        attacker.sniffer.on_lost = lost.append
+        attacker.sniff_new_connections()
+        bulb.power_on()
+        phone.connect_to(bulb.address)
+        sim.run(until_us=1_500_000)
+        # Both victims vanish without a word.
+        phone.ll.disconnect("power loss")
+        bulb.ll.disconnect("power loss")
+        bulb.ll.readvertise_on_disconnect = False
+        sim.run(until_us=5_000_000)
+        assert lost and "lost" in lost[0]
+
+
+class TestEstablishedRecovery:
+    def build_established(self, seed=9, interval=36):
+        sim, bulb, phone, attacker = build_world(seed=seed,
+                                                 interval=interval)
+        bulb.power_on()
+        phone.connect_to(bulb.address)
+        sim.run(until_us=2_000_000)
+        assert phone.is_connected
+        return sim, bulb, phone, attacker
+
+    def test_recovers_all_parameters(self):
+        sim, bulb, phone, attacker = self.build_established()
+        attacker.recover_established(probe_channel=0)
+        sim.run(until_us=60_000_000)
+        truth = phone.ll.conn.params
+        conn = attacker.connection
+        assert conn is not None
+        assert conn.params.access_address == truth.access_address
+        assert conn.params.crc_init == truth.crc_init
+        assert conn.params.interval == truth.interval
+        assert conn.params.hop_increment == truth.hop_increment
+
+    def test_following_after_recovery(self):
+        sim, bulb, phone, attacker = self.build_established()
+        attacker.recover_established(probe_channel=0)
+        sim.run(until_us=60_000_000)
+        assert attacker.synchronized
+        assert attacker.connection.slave_bits.seen
+
+    def test_recovery_works_on_other_probe_channel(self):
+        sim, bulb, phone, attacker = self.build_established(seed=10)
+        attacker.recover_established(probe_channel=5)
+        sim.run(until_us=60_000_000)
+        assert attacker.connection is not None
+        assert attacker.connection.params.access_address == \
+            phone.ll.conn.params.access_address

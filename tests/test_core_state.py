@@ -1,0 +1,174 @@
+"""Unit tests for the attacker's sniffed-connection state."""
+
+import pytest
+
+from repro.core.state import SniffedConnection
+from repro.errors import SnifferError
+from repro.ll.connection import ConnectionParams
+from repro.ll.pdu.control import ChannelMapInd, ConnectionUpdateInd
+from repro.utils.units import SLOT_US
+
+
+def make_params(**overrides) -> ConnectionParams:
+    fields = dict(
+        access_address=0x50123456, crc_init=0xABCDEF, win_size=2,
+        win_offset=1, interval=36, latency=0, timeout=100,
+        channel_map=(1 << 37) - 1, hop_increment=9, master_sca_ppm=50.0,
+    )
+    fields.update(overrides)
+    return ConnectionParams(**fields)
+
+
+class TestHopping:
+    def test_mirrors_csa1(self):
+        conn = SniffedConnection(make_params(hop_increment=7))
+        channels = [conn.advance_event() for _ in range(10)]
+        assert channels == [(7 * (i + 1)) % 37 for i in range(10)]
+
+    def test_event_counter_wraps(self):
+        conn = SniffedConnection(make_params())
+        conn.event_count = 0xFFFF
+        conn.advance_event()
+        assert conn.event_count == 0
+
+
+class TestTiming:
+    def test_prediction_from_anchor(self):
+        conn = SniffedConnection(make_params(interval=36))
+        conn.advance_event()
+        conn.note_anchor(1_000_000.0)
+        conn.advance_event()
+        assert conn.predicted_anchor_us() == 1_000_000.0 + 36 * SLOT_US
+
+    def test_prediction_accumulates_missed_events(self):
+        conn = SniffedConnection(make_params(interval=36))
+        conn.note_anchor(0.0)
+        conn.advance_event()
+        conn.advance_event()
+        conn.advance_event()
+        assert conn.predicted_anchor_us() == 3 * 36 * SLOT_US
+
+    def test_no_anchor_raises(self):
+        conn = SniffedConnection(make_params())
+        with pytest.raises(SnifferError):
+            conn.predicted_anchor_us()
+
+    def test_widening_estimate_uses_worst_case_20ppm(self):
+        conn = SniffedConnection(make_params(master_sca_ppm=50.0,
+                                             interval=75))
+        conn.note_anchor(0.0)
+        conn.advance_event()
+        # (50+20)/1e6 * 93750 + 32
+        assert conn.estimated_widening_us() == pytest.approx(38.5625)
+
+    def test_widening_grows_with_missed_events(self):
+        conn = SniffedConnection(make_params())
+        conn.note_anchor(0.0)
+        conn.advance_event()
+        w1 = conn.estimated_widening_us()
+        conn.advance_event()
+        w2 = conn.estimated_widening_us()
+        assert w2 > w1
+
+
+class TestForgedBits:
+    def test_equation_6(self):
+        conn = SniffedConnection(make_params())
+        conn.slave_bits.sn = 1
+        conn.slave_bits.nesn = 0
+        conn.slave_bits.seen = True
+        sn_a, nesn_a = conn.forged_bits()
+        assert sn_a == 0          # SN_a = NESN_s
+        assert nesn_a == 0        # NESN_a = (SN_s + 1) mod 2
+
+    def test_all_bit_combinations(self):
+        conn = SniffedConnection(make_params())
+        conn.slave_bits.seen = True
+        for sn_s in (0, 1):
+            for nesn_s in (0, 1):
+                conn.slave_bits.sn = sn_s
+                conn.slave_bits.nesn = nesn_s
+                sn_a, nesn_a = conn.forged_bits()
+                assert sn_a == nesn_s
+                assert nesn_a == (sn_s + 1) % 2
+
+    def test_requires_observed_slave_frame(self):
+        conn = SniffedConnection(make_params())
+        with pytest.raises(SnifferError):
+            conn.forged_bits()
+
+
+class TestProcedureMirroring:
+    def test_update_applied_at_instant(self):
+        conn = SniffedConnection(make_params(interval=36))
+        conn.note_anchor(0.0)
+        update = ConnectionUpdateInd(win_size=2, win_offset=3, interval=75,
+                                     latency=0, timeout=100, instant=4)
+        conn.observe_update(update)
+        for _ in range(3):
+            conn.advance_event()
+        assert conn.params.interval == 36
+        conn.advance_event()  # the instant
+        assert conn.params.interval == 75
+        # Anchor re-based at the update window start (paper Fig. 2).
+        expected = 4 * 36 * SLOT_US + SLOT_US + 3 * SLOT_US
+        assert conn.last_anchor_us == pytest.approx(expected)
+        assert conn.events_since_anchor == 0
+
+    def test_channel_map_applied_at_instant(self):
+        conn = SniffedConnection(make_params())
+        update = ChannelMapInd(channel_map=0x3FF, instant=2)
+        conn.observe_channel_map(update)
+        conn.advance_event()
+        assert conn.params.channel_map != 0x3FF
+        conn.advance_event()
+        assert conn.params.channel_map == 0x3FF
+        for _ in range(30):
+            assert conn.advance_event() <= 9
+
+    def test_instant_in_future_for(self):
+        conn = SniffedConnection(make_params())
+        conn.event_count = 100
+        assert conn.instant_in_future_for(101)
+        assert not conn.instant_in_future_for(100)
+        assert not conn.instant_in_future_for(99)
+
+
+class TestClone:
+    def test_clone_copies_state(self):
+        conn = SniffedConnection(make_params())
+        conn.advance_event()
+        conn.note_anchor(5000.0)
+        conn.slave_bits.sn = 1
+        conn.slave_bits.seen = True
+        clone = conn.clone()
+        assert clone.event_count == conn.event_count
+        assert clone.last_anchor_us == conn.last_anchor_us
+        assert clone.slave_bits.sn == 1
+
+    def test_clone_is_independent(self):
+        conn = SniffedConnection(make_params())
+        conn.advance_event()
+        clone = conn.clone()
+        conn.advance_event()
+        assert clone.event_count == conn.event_count - 1
+
+    def test_clone_hops_in_lockstep(self):
+        conn = SniffedConnection(make_params())
+        for _ in range(5):
+            conn.advance_event()
+        clone = conn.clone()
+        assert [conn.advance_event() for _ in range(20)] == \
+            [clone.advance_event() for _ in range(20)]
+
+    def test_clone_drops_pending_updates(self):
+        conn = SniffedConnection(make_params(interval=36))
+        conn.note_anchor(0.0)
+        update = ConnectionUpdateInd(win_size=2, win_offset=3, interval=75,
+                                     latency=0, timeout=100, instant=1)
+        conn.observe_update(update)
+        clone = conn.clone()
+        clone.advance_event()
+        assert clone.params.interval == 36  # clone keeps the old schedule
+        conn.advance_event()
+        assert conn.params.interval == 75

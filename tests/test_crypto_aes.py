@@ -1,0 +1,73 @@
+"""Unit tests for the pure-Python AES-128 (FIPS-197 vectors)."""
+
+import pytest
+
+from repro.crypto.aes import aes128_encrypt_block, expand_key
+from repro.errors import SecurityError
+
+
+class TestKnownVectors:
+    def test_fips197_appendix_c(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert aes128_encrypt_block(key, plaintext) == expected
+
+    def test_nist_sp800_38a_ecb_vector(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        expected = bytes.fromhex("3ad77bb40d7a3660a89ecaf32466ef97")
+        assert aes128_encrypt_block(key, plaintext) == expected
+
+    def test_all_zero_vector(self):
+        key = bytes(16)
+        plaintext = bytes(16)
+        expected = bytes.fromhex("66e94bd4ef8a2c3b884cfa59ca342b2e")
+        assert aes128_encrypt_block(key, plaintext) == expected
+
+
+class TestKeySchedule:
+    def test_eleven_round_keys(self):
+        round_keys = expand_key(bytes(16))
+        assert len(round_keys) == 11
+        assert all(len(rk) == 16 for rk in round_keys)
+
+    def test_first_round_key_is_the_key(self):
+        key = bytes(range(16))
+        assert expand_key(key)[0] == key
+
+    def test_fips197_first_expanded_word(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        round_keys = expand_key(key)
+        # w[4..7] from FIPS-197 A.1.
+        assert round_keys[1] == bytes.fromhex(
+            "a0fafe1788542cb123a339392a6c7605")
+
+
+class TestBehaviour:
+    def test_deterministic(self):
+        key, block = bytes(16), bytes(range(16))
+        assert aes128_encrypt_block(key, block) == \
+            aes128_encrypt_block(key, block)
+
+    def test_key_sensitivity(self):
+        block = bytes(16)
+        a = aes128_encrypt_block(bytes(16), block)
+        b = aes128_encrypt_block(bytes(15) + b"\x01", block)
+        assert a != b
+
+    def test_plaintext_sensitivity(self):
+        key = bytes(16)
+        a = aes128_encrypt_block(key, bytes(16))
+        b = aes128_encrypt_block(key, bytes(15) + b"\x01")
+        # Avalanche: roughly half the 128 bits flip.
+        diff = sum(bin(x ^ y).count("1") for x, y in zip(a, b))
+        assert 40 < diff < 90
+
+    def test_wrong_key_length_rejected(self):
+        with pytest.raises(SecurityError):
+            aes128_encrypt_block(bytes(15), bytes(16))
+
+    def test_wrong_block_length_rejected(self):
+        with pytest.raises(SecurityError):
+            aes128_encrypt_block(bytes(16), bytes(8))

@@ -1,0 +1,86 @@
+"""Unit tests for AES-CCM as used by the BLE Link Layer."""
+
+import pytest
+
+from repro.crypto.ccm import MIC_LEN, ccm_decrypt, ccm_encrypt
+from repro.errors import SecurityError
+
+KEY = bytes(range(16))
+NONCE = bytes(range(13))
+
+
+class TestRoundTrip:
+    def test_encrypt_decrypt(self):
+        ct = ccm_encrypt(KEY, NONCE, b"attack at dawn", b"\x02")
+        assert ccm_decrypt(KEY, NONCE, ct, b"\x02") == b"attack at dawn"
+
+    def test_ciphertext_layout(self):
+        ct = ccm_encrypt(KEY, NONCE, b"hello")
+        assert len(ct) == 5 + MIC_LEN
+
+    def test_empty_plaintext(self):
+        ct = ccm_encrypt(KEY, NONCE, b"")
+        assert len(ct) == MIC_LEN
+        assert ccm_decrypt(KEY, NONCE, ct) == b""
+
+    def test_long_plaintext_multiple_blocks(self):
+        data = bytes(range(100))
+        ct = ccm_encrypt(KEY, NONCE, data, b"\x0e")
+        assert ccm_decrypt(KEY, NONCE, ct, b"\x0e") == data
+
+    def test_ciphertext_differs_from_plaintext(self):
+        assert ccm_encrypt(KEY, NONCE, b"plaintext!")[:10] != b"plaintext!"
+
+
+class TestAuthenticity:
+    """MIC failure is the paper's encrypted-connection DoS mechanism."""
+
+    def test_tampered_ciphertext_rejected(self):
+        ct = bytearray(ccm_encrypt(KEY, NONCE, b"data", b"\x02"))
+        ct[0] ^= 0x01
+        with pytest.raises(SecurityError):
+            ccm_decrypt(KEY, NONCE, bytes(ct), b"\x02")
+
+    def test_tampered_mic_rejected(self):
+        ct = bytearray(ccm_encrypt(KEY, NONCE, b"data"))
+        ct[-1] ^= 0x80
+        with pytest.raises(SecurityError):
+            ccm_decrypt(KEY, NONCE, bytes(ct))
+
+    def test_wrong_key_rejected(self):
+        ct = ccm_encrypt(KEY, NONCE, b"data")
+        with pytest.raises(SecurityError):
+            ccm_decrypt(bytes(16), NONCE, ct)
+
+    def test_wrong_nonce_rejected(self):
+        ct = ccm_encrypt(KEY, NONCE, b"data")
+        with pytest.raises(SecurityError):
+            ccm_decrypt(KEY, bytes(13), ct)
+
+    def test_wrong_aad_rejected(self):
+        ct = ccm_encrypt(KEY, NONCE, b"data", aad=b"\x02")
+        with pytest.raises(SecurityError):
+            ccm_decrypt(KEY, NONCE, ct, aad=b"\x03")
+
+    def test_forged_without_key_rejected(self):
+        # An attacker's plaintext injection against an encrypted link:
+        # arbitrary bytes never carry a valid MIC.
+        forged = b"\x12\x34\x00\x04attacker" + bytes(MIC_LEN)
+        with pytest.raises(SecurityError):
+            ccm_decrypt(KEY, NONCE, forged)
+
+
+class TestValidation:
+    def test_short_nonce_rejected(self):
+        with pytest.raises(SecurityError):
+            ccm_encrypt(KEY, bytes(12), b"x")
+
+    def test_ciphertext_shorter_than_mic_rejected(self):
+        with pytest.raises(SecurityError):
+            ccm_decrypt(KEY, NONCE, bytes(3))
+
+    def test_nonce_uniqueness_matters(self):
+        # Same plaintext, different nonce => different ciphertext.
+        a = ccm_encrypt(KEY, bytes(13), b"repeat")
+        b = ccm_encrypt(KEY, bytes(12) + b"\x01", b"repeat")
+        assert a != b

@@ -1,0 +1,82 @@
+"""Unit tests for c1/s1 (Core Spec sample data) and session-key derivation."""
+
+import pytest
+
+from repro.crypto.pairing import c1, s1, session_key_from_skd
+from repro.errors import SecurityError
+
+TK = bytes(16)
+
+
+class TestC1SpecVector:
+    """Core Spec Vol 3 Part H §2.2.3 sample data."""
+
+    RAND = bytes.fromhex("5783D52156AD6F0E6388274EC6702EE0")
+    PREQ = bytes.fromhex("07071000000101")
+    PRES = bytes.fromhex("05000800000302")
+    IA = bytes.fromhex("A1A2A3A4A5A6")
+    RA = bytes.fromhex("B1B2B3B4B5B6")
+    CONFIRM = bytes.fromhex("1e1e3fef878988ead2a74dc5bef13b86")
+
+    def test_spec_sample(self):
+        confirm = c1(TK, self.RAND, self.PREQ, self.PRES, 1, 0,
+                     self.IA, self.RA)
+        assert confirm == self.CONFIRM
+
+    def test_sensitive_to_random(self):
+        other = bytes(16)
+        assert c1(TK, other, self.PREQ, self.PRES, 1, 0, self.IA,
+                  self.RA) != self.CONFIRM
+
+    def test_sensitive_to_addresses(self):
+        assert c1(TK, self.RAND, self.PREQ, self.PRES, 1, 0, self.RA,
+                  self.IA) != self.CONFIRM
+
+    def test_sensitive_to_address_types(self):
+        assert c1(TK, self.RAND, self.PREQ, self.PRES, 0, 0, self.IA,
+                  self.RA) != self.CONFIRM
+
+    def test_wrong_lengths_rejected(self):
+        with pytest.raises(SecurityError):
+            c1(TK, self.RAND, b"short", self.PRES, 1, 0, self.IA, self.RA)
+        with pytest.raises(SecurityError):
+            c1(TK, self.RAND, self.PREQ, self.PRES, 1, 0, b"bad", self.RA)
+
+
+class TestS1SpecVector:
+    def test_spec_sample(self):
+        r1 = bytes.fromhex("000F0E0D0C0B0A091122334455667788")
+        r2 = bytes.fromhex("010203040506070899AABBCCDDEEFF00")
+        assert s1(TK, r1, r2) == \
+            bytes.fromhex("9a1fe1f0e8b0f49b5b4216ae796da062")
+
+    def test_uses_least_significant_octets(self):
+        # Changing only the most significant halves must not matter.
+        r1a = bytes(8) + bytes(range(8))
+        r1b = bytes([0xFF] * 8) + bytes(range(8))
+        r2 = bytes(16)
+        assert s1(TK, r1a, r2) == s1(TK, r1b, r2)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(SecurityError):
+            s1(TK, bytes(15), bytes(16))
+
+
+class TestSessionKey:
+    def test_deterministic(self):
+        ltk = bytes(range(16))
+        assert session_key_from_skd(ltk, 1, 2) == \
+            session_key_from_skd(ltk, 1, 2)
+
+    def test_skd_halves_matter(self):
+        ltk = bytes(range(16))
+        assert session_key_from_skd(ltk, 1, 2) != \
+            session_key_from_skd(ltk, 2, 1)
+
+    def test_ltk_matters(self):
+        assert session_key_from_skd(bytes(16), 1, 2) != \
+            session_key_from_skd(bytes(range(16)), 1, 2)
+
+    def test_wrong_ltk_length_rejected(self):
+        with pytest.raises(SecurityError):
+            session_key_from_skd(bytes(8), 1, 2)

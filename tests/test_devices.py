@@ -1,0 +1,153 @@
+"""Unit tests for the simulated victim devices."""
+
+import pytest
+
+from repro.devices import Keyfob, Lightbulb, Smartwatch
+from repro.devices.keyfob import ALERT_HIGH, ALERT_NONE
+from repro.devices.lightbulb import (
+    OP_TOGGLE,
+    UUID_BULB_CONTROL,
+    UUID_BULB_STATE,
+)
+from repro.devices.smartwatch import Sms, UUID_WATCH_SMS
+from repro.errors import CodecError
+from repro.sim.medium import Medium
+from repro.sim.simulator import Simulator
+from repro.sim.topology import Topology
+
+
+@pytest.fixture
+def world():
+    sim = Simulator(seed=5)
+    topo = Topology()
+    for i, name in enumerate(("bulb", "fob", "watch")):
+        topo.place(name, float(i), 0.0)
+    return sim, Medium(sim, topo)
+
+
+class TestLightbulb:
+    def test_profile_registered(self, world):
+        sim, medium = world
+        bulb = Lightbulb(sim, medium, "bulb")
+        assert bulb.gatt.find_characteristic(UUID_BULB_CONTROL) is not None
+        assert bulb.gatt.find_characteristic(UUID_BULB_STATE) is not None
+
+    def test_power_command(self, world):
+        sim, medium = world
+        bulb = Lightbulb(sim, medium, "bulb")
+        bulb._on_control(Lightbulb.power_payload(False))
+        assert not bulb.is_on
+        bulb._on_control(Lightbulb.power_payload(True))
+        assert bulb.is_on
+
+    def test_color_command(self, world):
+        sim, medium = world
+        bulb = Lightbulb(sim, medium, "bulb")
+        bulb._on_control(Lightbulb.color_payload(10, 20, 30))
+        assert bulb.color == (10, 20, 30)
+
+    def test_brightness_command(self, world):
+        sim, medium = world
+        bulb = Lightbulb(sim, medium, "bulb")
+        bulb._on_control(Lightbulb.brightness_payload(42))
+        assert bulb.brightness == 42
+
+    def test_empty_write_toggles(self, world):
+        sim, medium = world
+        bulb = Lightbulb(sim, medium, "bulb")
+        bulb._on_control(b"")
+        assert not bulb.is_on
+
+    def test_toggle_opcode(self, world):
+        sim, medium = world
+        bulb = Lightbulb(sim, medium, "bulb")
+        bulb._on_control(bytes([OP_TOGGLE]))
+        assert not bulb.is_on
+
+    def test_padded_payload_sizes(self):
+        assert len(Lightbulb.power_payload(False, pad_to=5)) == 5
+        assert len(Lightbulb.color_payload(1, 2, 3, pad_to=7)) == 7
+
+    def test_command_log(self, world):
+        sim, medium = world
+        bulb = Lightbulb(sim, medium, "bulb")
+        bulb._on_control(Lightbulb.power_payload(False))
+        assert bulb.command_log == [("power", False)]
+
+    def test_state_readback(self, world):
+        sim, medium = world
+        bulb = Lightbulb(sim, medium, "bulb")
+        bulb._on_control(Lightbulb.color_payload(9, 8, 7))
+        assert bulb._read_state() == bytes([1, 9, 8, 7, 255])
+
+    def test_describe(self, world):
+        sim, medium = world
+        bulb = Lightbulb(sim, medium, "bulb")
+        assert "on" in bulb.describe()
+
+
+class TestKeyfob:
+    def test_ring_on_alert(self, world):
+        sim, medium = world
+        fob = Keyfob(sim, medium, "fob")
+        fob._on_alert(Keyfob.ring_payload(ALERT_HIGH))
+        assert fob.is_ringing and fob.ring_count == 1
+
+    def test_silence(self, world):
+        sim, medium = world
+        fob = Keyfob(sim, medium, "fob")
+        fob._on_alert(Keyfob.ring_payload())
+        fob._on_alert(bytes([ALERT_NONE]))
+        assert not fob.is_ringing
+        assert fob.ring_count == 1
+
+    def test_battery_service_present(self, world):
+        sim, medium = world
+        fob = Keyfob(sim, medium, "fob")
+        assert fob.gatt.find_characteristic(0x2A19) is not None
+
+
+class TestSmartwatch:
+    def test_sms_round_trip(self):
+        sms = Sms("Alice", "hello there")
+        assert Sms.from_bytes(sms.to_bytes()) == sms
+
+    def test_sms_empty_rejected(self):
+        with pytest.raises(CodecError):
+            Sms.from_bytes(b"")
+
+    def test_sms_truncated_rejected(self):
+        with pytest.raises(CodecError):
+            Sms.from_bytes(b"\x09ab")
+
+    def test_inbox_accumulates(self, world):
+        sim, medium = world
+        watch = Smartwatch(sim, medium, "watch")
+        watch._on_sms(Sms("A", "1").to_bytes())
+        watch._on_sms(Sms("B", "2").to_bytes())
+        assert [s.sender for s in watch.inbox] == ["A", "B"]
+        assert watch.last_sms.text == "2"
+
+    def test_empty_inbox_raises(self, world):
+        sim, medium = world
+        watch = Smartwatch(sim, medium, "watch")
+        with pytest.raises(IndexError):
+            watch.last_sms
+
+    def test_malformed_sms_ignored(self, world):
+        sim, medium = world
+        watch = Smartwatch(sim, medium, "watch")
+        watch._on_sms(b"")
+        assert watch.inbox == []
+
+    def test_profile(self, world):
+        sim, medium = world
+        watch = Smartwatch(sim, medium, "watch")
+        assert watch.gatt.find_characteristic(UUID_WATCH_SMS) is not None
+
+
+class TestDeviceNameCharacteristic:
+    def test_gap_device_name_matches(self, world):
+        sim, medium = world
+        bulb = Lightbulb(sim, medium, "bulb")
+        assert bulb.device_name_char.value == b"bulb"

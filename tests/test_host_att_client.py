@@ -1,0 +1,98 @@
+"""Unit tests for the ATT client: request queueing and notifications."""
+
+import pytest
+
+from repro.host.att.client import AttClient
+from repro.host.att.pdus import (
+    HandleValueCfm,
+    HandleValueInd,
+    HandleValueNtf,
+    ReadRsp,
+    ReadReq,
+    WriteRsp,
+    decode_att_pdu,
+)
+
+
+@pytest.fixture
+def transport():
+    sent = []
+    client = AttClient(send=sent.append)
+    return client, sent
+
+
+class TestRequests:
+    def test_read_sends_request(self, transport):
+        client, sent = transport
+        client.read(7, lambda pdu: None)
+        assert decode_att_pdu(sent[0]) == ReadReq(7)
+
+    def test_response_routed_to_callback(self, transport):
+        client, sent = transport
+        got = []
+        client.read(7, got.append)
+        client.on_pdu(ReadRsp(b"val").to_bytes())
+        assert got == [ReadRsp(b"val")]
+
+    def test_one_outstanding_request(self, transport):
+        client, sent = transport
+        client.read(1, lambda pdu: None)
+        client.read(2, lambda pdu: None)
+        assert len(sent) == 1  # second queued
+
+    def test_queue_drains_in_order(self, transport):
+        client, sent = transport
+        answers = []
+        client.read(1, lambda pdu: answers.append(("r1", pdu)))
+        client.write(2, b"x", lambda ok: answers.append(("w2", ok)))
+        client.read(3, lambda pdu: answers.append(("r3", pdu)))
+        client.on_pdu(ReadRsp(b"a").to_bytes())
+        assert len(sent) == 2
+        client.on_pdu(WriteRsp().to_bytes())
+        assert len(sent) == 3
+        client.on_pdu(ReadRsp(b"b").to_bytes())
+        assert [a[0] for a in answers] == ["r1", "w2", "r3"]
+
+    def test_busy_flag(self, transport):
+        client, _ = transport
+        assert not client.busy
+        client.read(1, lambda pdu: None)
+        assert client.busy
+        client.on_pdu(ReadRsp(b"").to_bytes())
+        assert not client.busy
+
+    def test_write_command_bypasses_queue(self, transport):
+        client, sent = transport
+        client.read(1, lambda pdu: None)
+        client.write_command(2, b"\x01")
+        assert len(sent) == 2  # command went straight out
+
+
+class TestNotifications:
+    def test_notification_dispatch(self, transport):
+        client, _ = transport
+        got = []
+        client.on_notification = lambda handle, value: got.append((handle,
+                                                                   value))
+        client.on_pdu(HandleValueNtf(10, b"new").to_bytes())
+        assert got == [(10, b"new")]
+
+    def test_indication_confirmed(self, transport):
+        client, sent = transport
+        client.on_notification = lambda handle, value: None
+        client.on_pdu(HandleValueInd(10, b"ind").to_bytes())
+        assert decode_att_pdu(sent[-1]) == HandleValueCfm()
+
+    def test_notification_does_not_consume_pending(self, transport):
+        client, _ = transport
+        got = []
+        client.on_notification = lambda handle, value: None
+        client.read(5, got.append)
+        client.on_pdu(HandleValueNtf(9, b"n").to_bytes())
+        assert got == []  # still pending
+        client.on_pdu(ReadRsp(b"v").to_bytes())
+        assert got == [ReadRsp(b"v")]
+
+    def test_garbage_pdu_ignored(self, transport):
+        client, _ = transport
+        client.on_pdu(b"\xff\xff")  # must not raise

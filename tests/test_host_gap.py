@@ -1,0 +1,57 @@
+"""Unit tests for GAP advertising-data codecs."""
+
+import pytest
+
+from repro.errors import CodecError
+from repro.host.gap import (
+    AD_COMPLETE_LOCAL_NAME,
+    AD_FLAGS,
+    AdElement,
+    adv_data_with_name,
+    build_adv_data,
+    local_name_of,
+    parse_adv_data,
+)
+
+
+class TestAdStructures:
+    def test_element_encoding(self):
+        element = AdElement(AD_FLAGS, b"\x06")
+        assert element.to_bytes() == b"\x02\x01\x06"
+
+    def test_build_and_parse_round_trip(self):
+        data = build_adv_data(
+            AdElement(AD_FLAGS, b"\x06"),
+            AdElement(AD_COMPLETE_LOCAL_NAME, b"bulb"),
+        )
+        elements = parse_adv_data(data)
+        assert [(e.ad_type, e.data) for e in elements] == [
+            (AD_FLAGS, b"\x06"),
+            (AD_COMPLETE_LOCAL_NAME, b"bulb"),
+        ]
+
+    def test_31_byte_limit(self):
+        with pytest.raises(CodecError):
+            build_adv_data(AdElement(0x09, bytes(31)))
+
+    def test_truncated_structure_rejected(self):
+        with pytest.raises(CodecError):
+            parse_adv_data(b"\x05\x09ab")
+
+    def test_zero_length_terminates(self):
+        data = b"\x02\x01\x06\x00\xff\xff"
+        assert len(parse_adv_data(data)) == 1
+
+
+class TestLocalName:
+    def test_name_helper(self):
+        data = adv_data_with_name("keyfob")
+        assert local_name_of(data) == "keyfob"
+
+    def test_no_name_returns_empty(self):
+        data = build_adv_data(AdElement(AD_FLAGS, b"\x06"))
+        assert local_name_of(data) == ""
+
+    def test_shortened_name_found(self):
+        data = build_adv_data(AdElement(0x08, b"wat"))
+        assert local_name_of(data) == "wat"

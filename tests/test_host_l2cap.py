@@ -1,0 +1,37 @@
+"""Unit tests for L2CAP basic-mode framing."""
+
+import pytest
+
+from repro.errors import HostError
+from repro.host.l2cap import CID_ATT, CID_SMP, l2cap_decode, l2cap_encode
+
+
+class TestL2cap:
+    def test_round_trip(self):
+        frame = l2cap_encode(CID_ATT, b"\x0a\x03\x00")
+        assert l2cap_decode(frame) == (CID_ATT, b"\x0a\x03\x00")
+
+    def test_header_layout(self):
+        frame = l2cap_encode(0x0006, b"ab")
+        assert frame[:2] == b"\x02\x00"  # length LE
+        assert frame[2:4] == b"\x06\x00"  # CID LE
+
+    def test_cids(self):
+        assert CID_ATT == 0x0004
+        assert CID_SMP == 0x0006
+
+    def test_empty_payload(self):
+        assert l2cap_decode(l2cap_encode(CID_ATT, b"")) == (CID_ATT, b"")
+
+    def test_length_mismatch_rejected(self):
+        frame = l2cap_encode(CID_ATT, b"abc")
+        with pytest.raises(HostError):
+            l2cap_decode(frame + b"\x00")
+
+    def test_short_frame_rejected(self):
+        with pytest.raises(HostError):
+            l2cap_decode(b"\x00\x00\x04")
+
+    def test_invalid_cid_rejected(self):
+        with pytest.raises(HostError):
+            l2cap_encode(1 << 16, b"x")

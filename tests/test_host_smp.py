@@ -1,0 +1,101 @@
+"""Unit tests for the Security Manager pairing flow."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SecurityError
+from repro.host.smp import (
+    OP_PAIRING_FAILED,
+    PairingFeatures,
+    PairingState,
+    SecurityManager,
+)
+
+
+def make_pair(tk_initiator=bytes(16), tk_responder=bytes(16)):
+    """Two SecurityManagers wired directly to each other."""
+    queues = {"i": [], "r": []}
+    initiator = SecurityManager(
+        send=queues["r"].append, is_initiator=True,
+        local_addr=bytes.fromhex("060504030201"),
+        peer_addr=bytes.fromhex("0c0b0a090807"),
+        rng=np.random.default_rng(1), tk=tk_initiator,
+    )
+    responder = SecurityManager(
+        send=queues["i"].append, is_initiator=False,
+        local_addr=bytes.fromhex("0c0b0a090807"),
+        peer_addr=bytes.fromhex("060504030201"),
+        rng=np.random.default_rng(2), tk=tk_responder,
+    )
+    return initiator, responder, queues
+
+
+def pump(initiator, responder, queues, rounds=10):
+    for _ in range(rounds):
+        moved = False
+        while queues["r"]:
+            responder.on_pdu(queues["r"].pop(0))
+            moved = True
+        while queues["i"]:
+            initiator.on_pdu(queues["i"].pop(0))
+            moved = True
+        if not moved:
+            break
+
+
+class TestPairingFlow:
+    def test_both_sides_complete(self):
+        initiator, responder, queues = make_pair()
+        initiator.start()
+        pump(initiator, responder, queues)
+        assert initiator.state is PairingState.DONE
+        assert responder.state is PairingState.DONE
+
+    def test_stks_match(self):
+        initiator, responder, queues = make_pair()
+        initiator.start()
+        pump(initiator, responder, queues)
+        assert initiator.stk is not None
+        assert initiator.stk == responder.stk
+
+    def test_on_complete_callbacks(self):
+        initiator, responder, queues = make_pair()
+        got = []
+        initiator.on_complete = got.append
+        responder.on_complete = got.append
+        initiator.start()
+        pump(initiator, responder, queues)
+        assert len(got) == 2 and got[0] == got[1]
+
+    def test_mismatched_tk_fails(self):
+        initiator, responder, queues = make_pair(
+            tk_responder=bytes(15) + b"\x01")
+        initiator.start()
+        pump(initiator, responder, queues)
+        assert PairingState.FAILED in (initiator.state, responder.state)
+        assert initiator.stk is None or responder.stk is None or \
+            initiator.stk != responder.stk
+
+    def test_responder_cannot_start(self):
+        _, responder, _ = make_pair()
+        with pytest.raises(SecurityError):
+            responder.start()
+
+    def test_failed_pdu_sets_state(self):
+        initiator, _, _ = make_pair()
+        initiator.on_pdu(bytes([OP_PAIRING_FAILED, 0x04]))
+        assert initiator.state is PairingState.FAILED
+
+
+class TestPairingFeatures:
+    def test_round_trip(self):
+        features = PairingFeatures(io_capability=0x03, max_key_size=16)
+        raw = features.to_bytes(0x01)
+        assert PairingFeatures.from_bytes(raw) == features
+
+    def test_wire_length(self):
+        assert len(PairingFeatures().to_bytes(0x01)) == 7
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(SecurityError):
+            PairingFeatures.from_bytes(bytes(6))

@@ -1,0 +1,105 @@
+"""Integration tests: GATT over the full simulated stack."""
+
+import pytest
+
+from repro.devices import Lightbulb, Smartphone
+from repro.host.att.pdus import ReadByTypeRsp
+from repro.host.gatt.uuids import UUID_DEVICE_NAME
+from repro.sim.medium import Medium
+from repro.sim.simulator import Simulator
+from repro.sim.topology import Topology
+
+
+@pytest.fixture
+def world():
+    sim = Simulator(seed=77)
+    topo = Topology()
+    topo.place("bulb", 0.0, 0.0)
+    topo.place("phone", 2.0, 0.0)
+    medium = Medium(sim, topo)
+    bulb = Lightbulb(sim, medium, "bulb")
+    phone = Smartphone(sim, medium, "phone")
+    bulb.power_on()
+    phone.connect_to(bulb.address)
+    sim.run(until_us=1_000_000)
+    assert phone.is_connected
+    return sim, bulb, phone
+
+
+class TestDiscovery:
+    def test_services_discovered(self, world):
+        sim, bulb, phone = world
+        done = []
+        phone.gatt.discover_services(lambda: done.append(True))
+        sim.run(until_us=5_000_000)
+        assert done
+        uuids = {s.uuid for s in phone.gatt.services}
+        assert 0x1800 in uuids and 0xFF10 in uuids
+
+    def test_characteristics_discovered(self, world):
+        sim, bulb, phone = world
+        phone.gatt.discover_services()
+        sim.run(until_us=5_000_000)
+        char = phone.gatt.find_characteristic(0xFF11)
+        assert char is not None
+        assert char.value_handle == \
+            bulb.gatt.find_characteristic(0xFF11).value_handle
+
+
+class TestReadsAndWrites:
+    def test_remote_write_triggers_device(self, world):
+        sim, bulb, phone = world
+        ctrl = bulb.gatt.find_characteristic(0xFF11).value_handle
+        acks = []
+        phone.gatt.write(ctrl, Lightbulb.power_payload(False), acks.append)
+        sim.run(until_us=3_000_000)
+        assert acks == [True]
+        assert not bulb.is_on
+
+    def test_remote_read_returns_state(self, world):
+        sim, bulb, phone = world
+        state = bulb.gatt.find_characteristic(0xFF12).value_handle
+        values = []
+        phone.gatt.read(state, values.append)
+        sim.run(until_us=3_000_000)
+        assert values and values[0][0] == 1  # is_on
+
+    def test_write_command_applies(self, world):
+        sim, bulb, phone = world
+        ctrl = bulb.gatt.find_characteristic(0xFF11).value_handle
+        phone.gatt.write_command(ctrl, Lightbulb.color_payload(1, 2, 3))
+        sim.run(until_us=3_000_000)
+        assert bulb.color == (1, 2, 3)
+
+    def test_device_name_by_type(self, world):
+        sim, bulb, phone = world
+        names = []
+        phone.host.att.read_by_type(UUID_DEVICE_NAME, names.append)
+        sim.run(until_us=3_000_000)
+        assert isinstance(names[0], ReadByTypeRsp)
+        assert names[0].records[0][1] == b"bulb"
+
+
+class TestPairingAndEncryption:
+    def test_pair_then_encrypted_write(self, world):
+        sim, bulb, phone = world
+        paired = []
+        phone.host.on_paired = paired.append
+        phone.host.pair(encrypt=True)
+        sim.run(until_us=4_000_000)
+        assert paired
+        assert phone.ll.encryption is not None
+        assert bulb.ll.encryption is not None
+        ctrl = bulb.gatt.find_characteristic(0xFF11).value_handle
+        acks = []
+        phone.gatt.write(ctrl, Lightbulb.power_payload(False), acks.append)
+        sim.run(until_us=6_000_000)
+        assert acks == [True] and not bulb.is_on
+
+    def test_pair_without_encrypting(self, world):
+        sim, bulb, phone = world
+        phone.host.pair(encrypt=False)
+        sim.run(until_us=4_000_000)
+        assert phone.ll.encryption is None
+        # The STK is provisioned on the slave for later use.
+        assert bulb.ll.ltk is not None

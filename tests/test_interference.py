@@ -1,0 +1,89 @@
+"""Robustness under interference: the paper's 'realistic environment'."""
+
+import pytest
+
+from repro.core.attacker import Attacker
+from repro.devices import Lightbulb, Smartphone
+from repro.errors import ConfigurationError
+from repro.host.att.pdus import WriteReq
+from repro.host.l2cap import CID_ATT, l2cap_encode
+from repro.sim.interference import RogueAdvertiser, WifiInterferer
+from repro.sim.medium import Medium
+from repro.sim.simulator import Simulator
+from repro.sim.topology import Topology
+
+
+def build_noisy_world(seed=70, duty_cycle=0.05):
+    sim = Simulator(seed=seed)
+    topo = Topology.equilateral_triangle(("bulb", "phone", "attacker"))
+    topo.place("wifi", 3.0, 3.0)
+    topo.place("rogue-adv", -3.0, 1.0)
+    medium = Medium(sim, topo)
+    bulb = Lightbulb(sim, medium, "bulb")
+    phone = Smartphone(sim, medium, "phone", interval=36)
+    wifi = WifiInterferer(sim, medium, "wifi", duty_cycle=duty_cycle)
+    rogue = RogueAdvertiser(sim, medium, "rogue-adv")
+    return sim, medium, bulb, phone, wifi, rogue
+
+
+class TestWifiInterferer:
+    def test_bursts_happen(self):
+        sim, medium, *_ , wifi, _ = build_noisy_world()
+        wifi.start()
+        sim.run(until_us=1_000_000)
+        assert wifi.bursts_sent > 10
+
+    def test_stop(self):
+        sim, medium, *_ , wifi, _ = build_noisy_world()
+        wifi.start()
+        sim.run(until_us=500_000)
+        wifi.stop()
+        sent = wifi.bursts_sent
+        sim.run(until_us=1_000_000)
+        assert wifi.bursts_sent == sent
+
+    def test_invalid_duty_cycle_rejected(self):
+        sim, medium, *_ = build_noisy_world()
+        with pytest.raises(ConfigurationError):
+            WifiInterferer(sim, medium, "wifi", duty_cycle=1.5)
+
+
+class TestConnectionUnderInterference:
+    def test_connection_survives_wifi(self):
+        sim, medium, bulb, phone, wifi, _ = build_noisy_world(seed=71)
+        wifi.start()
+        bulb.power_on()
+        phone.connect_to(bulb.address)
+        sim.run(until_us=5_000_000)
+        assert phone.is_connected and bulb.ll.is_connected
+
+    def test_connection_survives_rogue_advertiser(self):
+        sim, medium, bulb, phone, _, rogue = build_noisy_world(seed=72)
+        rogue.start()
+        bulb.power_on()
+        phone.connect_to(bulb.address)
+        sim.run(until_us=5_000_000)
+        assert phone.is_connected and bulb.ll.is_connected
+
+
+class TestInjectionUnderInterference:
+    def test_injection_still_succeeds_in_noise(self):
+        """The paper's experiments all ran next to Wi-Fi routers and other
+        BLE devices; the attack must go through regardless."""
+        sim, medium, bulb, phone, wifi, rogue = build_noisy_world(seed=73)
+        attacker = Attacker(sim, medium, "attacker")
+        wifi.start()
+        rogue.start()
+        attacker.sniff_new_connections()
+        bulb.power_on()
+        phone.connect_to(bulb.address)
+        sim.run(until_us=2_500_000)
+        assert attacker.synchronized
+        handle = bulb.gatt.find_characteristic(0xFF11).value_handle
+        payload = l2cap_encode(CID_ATT, WriteReq(
+            handle, Lightbulb.power_payload(False, pad_to=5)).to_bytes())
+        reports = []
+        attacker.inject(payload, on_done=reports.append)
+        sim.run(until_us=120_000_000)
+        assert reports and reports[0].success
+        assert not bulb.is_on

@@ -1,0 +1,203 @@
+"""Unit tests for connection parameters and per-connection state."""
+
+import pytest
+
+from repro.errors import ConnectionStateError
+from repro.ll.connection import (
+    ConnectionParams,
+    ConnectionState,
+    Role,
+    make_channel_selector,
+)
+from repro.ll.csa1 import Csa1
+from repro.ll.csa2 import Csa2
+from repro.ll.pdu.advertising import LLData
+from repro.ll.pdu.control import ChannelMapInd, ConnectionUpdateInd
+from repro.ll.pdu.data import LLID, DataPdu
+
+
+def make_params(**overrides) -> ConnectionParams:
+    fields = dict(
+        access_address=0x50123456, crc_init=0xABCDEF, win_size=2,
+        win_offset=1, interval=36, latency=0, timeout=100,
+        channel_map=(1 << 37) - 1, hop_increment=9, master_sca_ppm=50.0,
+    )
+    fields.update(overrides)
+    return ConnectionParams(**fields)
+
+
+class TestConnectionParams:
+    def test_from_ll_data(self):
+        ll_data = LLData(
+            access_address=0x50123456, crc_init=0xABCDEF, win_size=2,
+            win_offset=1, interval=36, latency=0, timeout=100,
+            channel_map=(1 << 37) - 1, hop_increment=9, sca=5,
+        )
+        params = ConnectionParams.from_ll_data(ll_data)
+        assert params.access_address == 0x50123456
+        assert params.master_sca_ppm == 50.0  # SCA field 5
+
+    def test_interval_us(self):
+        assert make_params(interval=36).interval_us == 45_000.0
+
+    def test_timeout_us(self):
+        assert make_params(timeout=100).timeout_us == 1_000_000.0
+
+    def test_updated_changes_timing_fields_only(self):
+        update = ConnectionUpdateInd(win_size=4, win_offset=6, interval=75,
+                                     latency=2, timeout=200, instant=99)
+        updated = make_params().updated(update)
+        assert updated.interval == 75 and updated.latency == 2
+        assert updated.access_address == make_params().access_address
+
+    def test_with_channel_map(self):
+        updated = make_params().with_channel_map(0x3FF)
+        assert updated.channel_map == 0x3FF
+
+    def test_selector_csa1_by_default(self):
+        assert isinstance(make_channel_selector(make_params()), Csa1)
+
+    def test_selector_csa2_when_flagged(self):
+        assert isinstance(
+            make_channel_selector(make_params(use_csa2=True)), Csa2)
+
+
+class TestArq:
+    """The 1-bit ARQ rules of §III-B6 — the consistency core of eq. 6."""
+
+    def make_state(self):
+        return ConnectionState(make_params(), Role.SLAVE)
+
+    def test_initial_bits(self):
+        state = self.make_state()
+        assert state.bits_for_transmit() == (0, 0)
+
+    def test_new_data_advances_next_expected(self):
+        state = self.make_state()
+        is_new, _ = state.on_received_bits(sn=0, nesn=0)
+        assert is_new
+        assert state.next_expected_seq_num == 1
+
+    def test_retransmission_detected(self):
+        state = self.make_state()
+        state.on_received_bits(sn=0, nesn=0)
+        is_new, _ = state.on_received_bits(sn=0, nesn=0)
+        assert not is_new
+
+    def test_ack_advances_transmit_seq(self):
+        state = self.make_state()
+        state.note_sent(DataPdu.empty())
+        _, acked = state.on_received_bits(sn=0, nesn=1)
+        assert acked
+        assert state.transmit_seq_num == 1
+
+    def test_nack_keeps_transmit_seq(self):
+        state = self.make_state()
+        state.note_sent(DataPdu.empty())
+        _, acked = state.on_received_bits(sn=0, nesn=0)
+        assert not acked
+        assert state.transmit_seq_num == 0
+        assert state.must_retransmit
+
+    def test_retransmit_cleared_after_ack(self):
+        state = self.make_state()
+        state.note_sent(DataPdu.make(LLID.DATA_START, b"x"))
+        state.on_received_bits(sn=0, nesn=0)  # nack
+        assert state.must_retransmit
+        state.on_received_bits(sn=1, nesn=1)  # ack
+        assert not state.must_retransmit
+
+    def test_injection_consistency_scenario(self):
+        """Reproduce the exact bit dance of a successful injection:
+        the Master retransmits, the Slave treats it as old data."""
+        slave = self.make_state()
+        # Attacker frame: SN_a = NESN_s = 0, accepted as new.
+        is_new, _ = slave.on_received_bits(sn=0, nesn=1)
+        assert is_new and slave.next_expected_seq_num == 1
+        # The legitimate Master, unaware, retransmits with SN=0: old data.
+        is_new, _ = slave.on_received_bits(sn=0, nesn=1)
+        assert not is_new
+
+
+class TestInstantProcedures:
+    def make_state(self):
+        return ConnectionState(make_params(), Role.SLAVE)
+
+    def test_update_applies_at_instant(self):
+        state = self.make_state()
+        update = ConnectionUpdateInd(win_size=2, win_offset=3, interval=75,
+                                     latency=0, timeout=100, instant=5)
+        state.schedule_update(update)
+        for event in range(1, 6):
+            state.event_count = event
+            due = state.take_due_update()
+            if event == 5:
+                assert due == update
+            else:
+                assert due is None
+
+    def test_update_taken_only_once(self):
+        state = self.make_state()
+        update = ConnectionUpdateInd(win_size=2, win_offset=3, interval=75,
+                                     latency=0, timeout=100, instant=3)
+        state.schedule_update(update)
+        state.event_count = 3
+        assert state.take_due_update() is not None
+        assert state.take_due_update() is None
+
+    def test_past_instant_rejected(self):
+        state = self.make_state()
+        state.event_count = 10
+        update = ConnectionUpdateInd(win_size=2, win_offset=3, interval=75,
+                                     latency=0, timeout=100, instant=9)
+        with pytest.raises(ConnectionStateError):
+            state.schedule_update(update)
+
+    def test_instant_wraps_mod_2_16(self):
+        state = self.make_state()
+        state.event_count = 0xFFF0
+        assert state.instant_in_future(5)  # wraps around
+        assert not state.instant_in_future(0xFF00)
+
+    def test_double_update_rejected(self):
+        state = self.make_state()
+        update = ConnectionUpdateInd(win_size=2, win_offset=3, interval=75,
+                                     latency=0, timeout=100, instant=5)
+        state.schedule_update(update)
+        with pytest.raises(ConnectionStateError):
+            state.schedule_update(update)
+
+    def test_channel_map_applies(self):
+        state = self.make_state()
+        update = ChannelMapInd(channel_map=0x3FF, instant=4)
+        state.schedule_channel_map(update)
+        state.event_count = 4
+        due = state.take_due_channel_map()
+        assert due is not None
+        state.apply_channel_map(due)
+        assert state.params.channel_map == 0x3FF
+        for _ in range(40):
+            assert state.channel_for_next_event() <= 9
+
+
+class TestSupervision:
+    def test_not_expired_after_traffic(self):
+        state = ConnectionState(make_params(timeout=100), Role.SLAVE)
+        state.note_valid_rx(0.0)
+        assert not state.supervision_expired(900_000.0)
+
+    def test_expired_after_timeout(self):
+        state = ConnectionState(make_params(timeout=100), Role.SLAVE)
+        state.note_valid_rx(0.0)
+        assert state.supervision_expired(1_100_000.0)
+
+    def test_pre_established_uses_six_intervals(self):
+        state = ConnectionState(make_params(interval=36), Role.SLAVE,
+                                created_local_us=0.0)
+        assert not state.supervision_expired(5 * 45_000.0)
+        assert state.supervision_expired(7 * 45_000.0)
+
+    def test_terminate_marks_state(self):
+        state = ConnectionState(make_params(), Role.MASTER)
+        state.terminate("test")
+        assert state.terminated and state.terminate_reason == "test"

@@ -1,0 +1,137 @@
+"""Unit tests for channel selection algorithms #1 and #2."""
+
+import pytest
+
+from repro.errors import LinkLayerError
+from repro.ll.csa1 import Csa1, channel_map_to_used
+from repro.ll.csa2 import Csa2, channel_identifier
+
+FULL_MAP = (1 << 37) - 1
+
+
+class TestChannelMap:
+    def test_full_map(self):
+        assert channel_map_to_used(FULL_MAP) == list(range(37))
+
+    def test_partial_map(self):
+        assert channel_map_to_used(0b1011) == [0, 1, 3]
+
+    def test_empty_map_rejected(self):
+        with pytest.raises(LinkLayerError):
+            channel_map_to_used(0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(LinkLayerError):
+            channel_map_to_used(1 << 37)
+
+
+class TestCsa1:
+    def test_modular_addition(self):
+        csa = Csa1(hop_increment=7, channel_map=FULL_MAP)
+        assert csa.next_channel() == 7
+        assert csa.next_channel() == 14
+        assert csa.next_channel() == 21
+
+    def test_wraps_mod_37(self):
+        csa = Csa1(hop_increment=16, channel_map=FULL_MAP, last_unmapped=30)
+        assert csa.next_channel() == (30 + 16) % 37
+
+    def test_full_map_cycle_covers_all_channels(self):
+        # 37 is prime, so any increment visits all 37 channels.
+        for hop in (5, 7, 11, 16):
+            csa = Csa1(hop_increment=hop, channel_map=FULL_MAP)
+            seen = {csa.next_channel() for _ in range(37)}
+            assert seen == set(range(37))
+
+    def test_remapping_avoids_unused_channels(self):
+        used_map = 0x1FFFFFF  # channels 0-24 only
+        csa = Csa1(hop_increment=7, channel_map=used_map)
+        for _ in range(100):
+            assert csa.next_channel() <= 24
+
+    def test_remap_formula(self):
+        # Unused unmapped channel remaps to used[unmapped % numUsed].
+        used_map = 0b111  # channels 0,1,2
+        csa = Csa1(hop_increment=7, channel_map=used_map)
+        channel = csa.next_channel()  # unmapped 7 -> used[7 % 3] = used[1]
+        assert channel == 1
+
+    def test_peek_does_not_advance(self):
+        csa = Csa1(hop_increment=9, channel_map=FULL_MAP)
+        peeked = csa.peek_channel(1)
+        assert csa.next_channel() == peeked
+
+    def test_peek_ahead(self):
+        csa = Csa1(hop_increment=9, channel_map=FULL_MAP)
+        third = csa.peek_channel(3)
+        csa.next_channel()
+        csa.next_channel()
+        assert csa.next_channel() == third
+
+    def test_clone_is_independent(self):
+        csa = Csa1(hop_increment=6, channel_map=FULL_MAP)
+        csa.next_channel()
+        clone = csa.clone()
+        assert clone.next_channel() == csa.next_channel()
+
+    def test_map_update_mid_sequence(self):
+        csa = Csa1(hop_increment=7, channel_map=FULL_MAP)
+        csa.next_channel()
+        csa.set_channel_map(0x3FF)  # channels 0-9
+        for _ in range(50):
+            assert csa.next_channel() <= 9
+
+    def test_invalid_hop_rejected(self):
+        with pytest.raises(LinkLayerError):
+            Csa1(hop_increment=4)
+        with pytest.raises(LinkLayerError):
+            Csa1(hop_increment=17)
+
+    def test_two_instances_stay_in_lockstep(self):
+        # Master, Slave and sniffer all run the same algorithm: their
+        # sequences must match exactly.
+        a = Csa1(hop_increment=12, channel_map=FULL_MAP)
+        b = Csa1(hop_increment=12, channel_map=FULL_MAP)
+        assert [a.next_channel() for _ in range(200)] == \
+            [b.next_channel() for _ in range(200)]
+
+
+class TestCsa2:
+    def test_channel_identifier(self):
+        assert channel_identifier(0x8E89BED6) == (0x8E89 ^ 0xBED6)
+
+    def test_channels_in_range(self):
+        csa = Csa2(access_address=0x71764129, channel_map=FULL_MAP)
+        for event in range(500):
+            assert 0 <= csa.channel_for_event(event) < 37
+
+    def test_stateless_in_event_counter(self):
+        csa = Csa2(access_address=0x71764129)
+        assert csa.channel_for_event(42) == csa.channel_for_event(42)
+
+    def test_different_aa_different_sequence(self):
+        a = Csa2(access_address=0x71764129)
+        b = Csa2(access_address=0x8E89BED7)
+        seq_a = [a.channel_for_event(e) for e in range(50)]
+        seq_b = [b.channel_for_event(e) for e in range(50)]
+        assert seq_a != seq_b
+
+    def test_partial_map_respected(self):
+        csa = Csa2(access_address=0x71764129, channel_map=0x1FFFFFF)
+        for event in range(300):
+            assert csa.channel_for_event(event) <= 24
+
+    def test_distribution_roughly_uniform(self):
+        csa = Csa2(access_address=0x5A5A5A5A, channel_map=FULL_MAP)
+        counts = [0] * 37
+        n = 3700
+        for event in range(n):
+            counts[csa.channel_for_event(event % 65536)] += 1
+        # Every channel used, no channel hogging more than 3x its share.
+        assert min(counts) > 0
+        assert max(counts) < 3 * n / 37
+
+    def test_invalid_event_counter_rejected(self):
+        csa = Csa2(access_address=0x71764129)
+        with pytest.raises(LinkLayerError):
+            csa.channel_for_event(1 << 16)

@@ -1,0 +1,133 @@
+"""Unit tests for the LinkLayerDevice base machinery (queue, ARQ, hooks)."""
+
+import pytest
+
+from repro.errors import ConnectionStateError
+from repro.ll.connection import ConnectionState, Role
+from repro.ll.device import LinkLayerDevice
+from repro.ll.pdu.address import BdAddress
+from repro.ll.pdu.control import TerminateInd
+from repro.ll.pdu.data import LLID
+from repro.sim.medium import Medium
+from repro.sim.simulator import Simulator
+from repro.sim.topology import Topology
+from tests.test_ll_connection import make_params
+
+
+class _StubDevice(LinkLayerDevice):
+    """Concrete device for exercising the base class."""
+
+    def _on_frame(self, frame, rssi_dbm):
+        pass
+
+
+@pytest.fixture
+def device():
+    sim = Simulator(seed=42)
+    topo = Topology()
+    topo.place("dev", 0.0, 0.0)
+    medium = Medium(sim, topo)
+    dev = _StubDevice(sim, medium, "dev",
+                      BdAddress.from_str("00:11:22:33:44:55"))
+    dev.conn = ConnectionState(make_params(), Role.SLAVE)
+    return dev
+
+
+class TestTransmitQueue:
+    def test_empty_queue_sends_empty_pdu(self, device):
+        pdu = device.next_pdu_to_send()
+        assert pdu.is_empty
+
+    def test_data_queued_in_order(self, device):
+        device.send_data(b"\x01\x00\x04\x00a")
+        device.send_data(b"\x01\x00\x04\x00b")
+        first = device.next_pdu_to_send()
+        assert first.payload.endswith(b"a")
+        # Ack the first, then the second goes out.
+        device.conn.on_received_bits(sn=0, nesn=1)
+        second = device.next_pdu_to_send()
+        assert second.payload.endswith(b"b")
+
+    def test_retransmission_until_acked(self, device):
+        device.send_data(b"\x01\x00\x04\x00x")
+        first = device.next_pdu_to_send()
+        # Peer nacks (NESN unchanged): same payload again.
+        device.conn.on_received_bits(sn=0, nesn=0)
+        again = device.next_pdu_to_send()
+        assert again.payload == first.payload
+
+    def test_control_queued_as_control_llid(self, device):
+        device.send_control(TerminateInd())
+        pdu = device.next_pdu_to_send()
+        assert pdu.header.llid is LLID.CONTROL
+        assert pdu.payload[0] == 0x02
+
+    def test_sn_nesn_stamped_from_connection(self, device):
+        device.conn.transmit_seq_num = 1
+        device.conn.next_expected_seq_num = 1
+        pdu = device.next_pdu_to_send()
+        assert pdu.header.sn == 1 and pdu.header.nesn == 1
+
+    def test_empty_payload_rejected(self, device):
+        with pytest.raises(ConnectionStateError):
+            device.send_data(b"")
+
+    def test_queue_introspection(self, device):
+        device.send_data(b"\x01\x00\x04\x00a")
+        assert device.queued_pdus() == 1
+        device.clear_queue()
+        assert device.queued_pdus() == 0
+
+
+class TestLifecycle:
+    def test_disconnect_clears_state(self, device):
+        device.send_data(b"\x01\x00\x04\x00a")
+        reasons = []
+        device.on_disconnected = reasons.append
+        device.disconnect("test teardown")
+        assert device.conn is None
+        assert device.queued_pdus() == 0
+        assert reasons == ["test teardown"]
+        assert not device.is_connected
+
+    def test_disconnect_without_connection_is_noop(self, device):
+        device.conn = None
+        device.disconnect("nothing to do")  # must not raise
+
+    def test_require_conn_raises_when_absent(self, device):
+        device.conn = None
+        with pytest.raises(ConnectionStateError):
+            device.next_pdu_to_send()
+
+    def test_local_clock_scheduling(self, device):
+        fired = []
+        local_target = device.clock.local_from_true(device.sim.now) + 1000.0
+        device.schedule_local(local_target, lambda: fired.append(device.sim.now))
+        device.sim.run()
+        assert len(fired) == 1
+        # Fired within jitter of the converted true time.
+        expected = device.clock.true_from_local(local_target)
+        assert fired[0] == pytest.approx(expected, abs=10.0)
+
+
+class TestEncryptionHook:
+    def test_tx_encrypted_when_session_active(self, device):
+        from repro.crypto.session import LinkEncryption
+
+        device.encryption = LinkEncryption(bytes(16), 1, 2, is_master=False)
+        device.send_data(b"\x01\x00\x04\x00secret")
+        pdu = device.next_pdu_to_send()
+        assert pdu.payload != b"\x01\x00\x04\x00secret"
+        assert len(pdu.payload) == len(b"\x01\x00\x04\x00secret") + 4
+
+    def test_mic_failure_disconnects(self, device):
+        from repro.crypto.session import LinkEncryption
+        from repro.ll.pdu.data import DataPdu
+
+        device.encryption = LinkEncryption(bytes(16), 1, 2, is_master=False)
+        reasons = []
+        device.on_disconnected = reasons.append
+        result = device.decrypt_if_needed(
+            DataPdu.make(LLID.DATA_START, bytes(12)))
+        assert result is None
+        assert reasons == ["MIC failure"]

@@ -1,0 +1,283 @@
+"""Integration tests of the full Link Layer: two devices over the medium.
+
+These exercise the state machines the way Figures 1 and 2 of the paper
+describe them: advertising, CONNECT_REQ, connection events with anchor
+points and T_IFS, connection/channel-map updates at their instant,
+termination and supervision.
+"""
+
+import pytest
+
+from repro.ll.master import MasterLinkLayer
+from repro.ll.pdu.address import BdAddress
+from repro.ll.slave import SlaveLinkLayer
+from repro.sim.medium import Medium
+from repro.sim.simulator import Simulator
+from repro.sim.topology import Topology
+from repro.utils.units import T_IFS_US
+
+SLAVE_ADDR = BdAddress.from_str("AA:BB:CC:DD:EE:01")
+MASTER_ADDR = BdAddress.from_str("AA:BB:CC:DD:EE:02")
+
+
+def build_pair(seed=1, interval=36, timeout=100, ltk=None, **slave_kwargs):
+    sim = Simulator(seed=seed)
+    topo = Topology()
+    topo.place("slave", 0.0, 0.0)
+    topo.place("master", 2.0, 0.0)
+    medium = Medium(sim, topo)
+    slave = SlaveLinkLayer(sim, medium, "slave", SLAVE_ADDR, ltk=ltk,
+                           **slave_kwargs)
+    master = MasterLinkLayer(sim, medium, "master", MASTER_ADDR,
+                             interval=interval, timeout=timeout)
+    return sim, slave, master
+
+
+def connect(sim, slave, master, until_us=1_000_000):
+    slave.start_advertising()
+    master.connect(slave.address)
+    sim.run(until_us=until_us)
+
+
+class TestEstablishment:
+    def test_connection_comes_up(self):
+        sim, slave, master = build_pair()
+        connect(sim, slave, master)
+        assert master.is_connected and slave.is_connected
+
+    def test_peer_addresses_learned(self):
+        sim, slave, master = build_pair()
+        connect(sim, slave, master)
+        assert slave.peer_address == MASTER_ADDR
+        assert master.peer_address == SLAVE_ADDR
+
+    def test_connected_callbacks_fire(self):
+        sim, slave, master = build_pair()
+        events = []
+        slave.on_connected = lambda: events.append("slave")
+        master.on_connected = lambda: events.append("master")
+        connect(sim, slave, master)
+        assert set(events) == {"slave", "master"}
+
+    def test_shared_parameters(self):
+        sim, slave, master = build_pair()
+        connect(sim, slave, master)
+        assert slave.conn.params.access_address == \
+            master.conn.params.access_address
+        assert slave.conn.params.crc_init == master.conn.params.crc_init
+
+    def test_advertising_stops_when_connected(self):
+        sim, slave, master = build_pair()
+        connect(sim, slave, master)
+        adv_before = len(sim.trace.filter(source="slave", kind="tx",
+                         predicate=lambda r: r.detail.get("channel") in
+                         (37, 38, 39)))
+        sim.run(until_us=3_000_000)
+        adv_after = len(sim.trace.filter(source="slave", kind="tx",
+                        predicate=lambda r: r.detail.get("channel") in
+                        (37, 38, 39)))
+        assert adv_after == adv_before
+
+
+class TestConnectionEvents:
+    def test_anchor_cadence_matches_interval(self):
+        sim, slave, master = build_pair(interval=36)
+        connect(sim, slave, master, until_us=3_000_000)
+        anchors = [r.detail["anchor_us"]
+                   for r in sim.trace.filter(source="slave", kind="anchor")]
+        assert len(anchors) > 20
+        deltas = [b - a for a, b in zip(anchors, anchors[1:])]
+        for delta in deltas:
+            assert delta == pytest.approx(45_000.0, abs=30.0)
+
+    def test_slave_responds_at_t_ifs(self):
+        sim, slave, master = build_pair()
+        connect(sim, slave, master, until_us=2_000_000)
+        txs = sim.trace.filter(source="slave", kind="tx",
+                               predicate=lambda r: r.detail.get("channel", 37)
+                               < 37)
+        anchors = sim.trace.filter(source="slave", kind="anchor")
+        assert txs and anchors
+        # Pair each slave TX with the most recent anchor's master frame end.
+        # The response fires T_IFS after the master frame end; verify a
+        # couple of samples within the heuristic's ±5 µs window.
+        master_txs = sim.trace.filter(source="master", kind="tx")
+        checked = 0
+        for mtx in master_txs[5:10]:
+            # locate the slave tx right after this master tx
+            following = [t for t in txs if t.time_us > mtx.time_us]
+            if not following:
+                continue
+            stx = following[0]
+            # master frame: empty PDU -> 10 bytes -> 80 µs air time
+            expected = mtx.time_us + 80.0 + T_IFS_US
+            assert stx.time_us == pytest.approx(expected, abs=5.0)
+            checked += 1
+        assert checked >= 3
+
+    def test_no_missed_events_in_clean_conditions(self):
+        sim, slave, master = build_pair(interval=36)
+        connect(sim, slave, master, until_us=5_000_000)
+        assert len(sim.trace.filter(kind="event-missed")) == 0
+        assert len(sim.trace.filter(kind="response-missed")) == 0
+
+    def test_hop_sequence_follows_csa1(self):
+        sim, slave, master = build_pair()
+        connect(sim, slave, master, until_us=2_000_000)
+        channels = [r.detail["channel"]
+                    for r in sim.trace.filter(source="master",
+                                              kind="master-tx")]
+        hop = master.conn.params.hop_increment
+        for a, b in zip(channels, channels[1:]):
+            assert (b - a) % 37 == hop % 37
+
+
+class TestDataTransfer:
+    def test_bidirectional_payloads(self):
+        sim, slave, master = build_pair()
+        at_slave, at_master = [], []
+        slave.on_data = at_slave.append
+        master.on_data = at_master.append
+        connect(sim, slave, master)
+        master.send_data(b"\x01\x00\x04\x00m")
+        slave.send_data(b"\x01\x00\x04\x00s")
+        sim.run(until_us=2_000_000)
+        assert at_slave == [b"\x01\x00\x04\x00m"]
+        assert at_master == [b"\x01\x00\x04\x00s"]
+
+    def test_queued_payloads_preserve_order(self):
+        sim, slave, master = build_pair()
+        received = []
+        slave.on_data = received.append
+        connect(sim, slave, master)
+        for i in range(5):
+            master.send_data(bytes([i + 1, 0, 4, 0, i]))
+        sim.run(until_us=3_000_000)
+        assert [p[-1] for p in received] == [0, 1, 2, 3, 4]
+
+    def test_no_duplicate_delivery(self):
+        sim, slave, master = build_pair()
+        received = []
+        slave.on_data = received.append
+        connect(sim, slave, master)
+        master.send_data(b"\x01\x00\x04\x00x")
+        sim.run(until_us=3_000_000)
+        assert len(received) == 1
+
+
+class TestProcedures:
+    def test_connection_update_keeps_connection(self):
+        sim, slave, master = build_pair(interval=36)
+        connect(sim, slave, master)
+        master.request_connection_update(interval=75)
+        sim.run(until_us=4_000_000)
+        assert master.is_connected and slave.is_connected
+        assert slave.conn.params.interval == 75
+        assert master.conn.params.interval == 75
+
+    def test_update_changes_anchor_cadence(self):
+        sim, slave, master = build_pair(interval=36)
+        connect(sim, slave, master)
+        master.request_connection_update(interval=100)
+        sim.run(until_us=6_000_000)
+        anchors = [r.detail["anchor_us"]
+                   for r in sim.trace.filter(source="slave", kind="anchor")]
+        late_deltas = [b - a for a, b in zip(anchors[-6:], anchors[-5:])]
+        for delta in late_deltas:
+            assert delta == pytest.approx(125_000.0, abs=40.0)
+
+    def test_channel_map_update(self):
+        sim, slave, master = build_pair()
+        connect(sim, slave, master)
+        master.request_channel_map_update(0x1FFFFFF)  # channels 0-24
+        sim.run(until_us=3_000_000)
+        assert slave.conn.params.channel_map == 0x1FFFFFF
+        late_channels = [r.detail["channel"] for r in
+                         sim.trace.filter(source="master", kind="master-tx")]
+        assert all(ch <= 24 for ch in late_channels[-20:])
+        assert master.is_connected and slave.is_connected
+
+    def test_terminate_from_master(self):
+        sim, slave, master = build_pair()
+        reasons = []
+        slave.on_disconnected = reasons.append
+        connect(sim, slave, master)
+        master.terminate()
+        sim.run(until_us=2_000_000)
+        assert not slave.is_connected and not master.is_connected
+        assert reasons and "TERMINATE" in reasons[0]
+
+    def test_slave_readvertises_after_disconnect(self):
+        sim, slave, master = build_pair(readvertise_on_disconnect=True)
+        connect(sim, slave, master)
+        master.terminate()
+        sim.run(until_us=3_000_000)
+        assert slave.state.value == "advertising"
+
+
+class TestSupervision:
+    def test_slave_times_out_when_master_vanishes(self):
+        sim, slave, master = build_pair(timeout=100)
+        reasons = []
+        slave.on_disconnected = reasons.append
+        connect(sim, slave, master)
+        # Kill the master silently (no terminate).
+        master.disconnect("simulated power loss")
+        sim.run(until_us=5_000_000)
+        assert not slave.is_connected
+        assert reasons == ["supervision timeout"]
+
+    def test_master_times_out_when_slave_vanishes(self):
+        sim, slave, master = build_pair(timeout=100)
+        reasons = []
+        master.on_disconnected = reasons.append
+        connect(sim, slave, master)
+        slave.disconnect("simulated power loss")
+        sim.run(until_us=5_000_000)
+        assert not master.is_connected
+        assert reasons == ["supervision timeout"]
+
+
+class TestEncryption:
+    LTK = bytes(range(16))
+
+    def test_encryption_setup(self):
+        sim, slave, master = build_pair(ltk=self.LTK)
+        connect(sim, slave, master)
+        master.start_encryption(self.LTK)
+        sim.run(until_us=2_000_000)
+        assert master.encryption is not None
+        assert slave.encryption is not None
+
+    def test_encrypted_payload_delivered(self):
+        sim, slave, master = build_pair(ltk=self.LTK)
+        received = []
+        slave.on_data = received.append
+        connect(sim, slave, master)
+        master.start_encryption(self.LTK)
+        sim.run(until_us=2_000_000)
+        master.send_data(b"\x06\x00\x04\x00secret")
+        sim.run(until_us=3_000_000)
+        assert received == [b"\x06\x00\x04\x00secret"]
+
+    def test_ciphertext_differs_from_plaintext_on_air(self):
+        sim, slave, master = build_pair(ltk=self.LTK)
+        connect(sim, slave, master)
+        master.start_encryption(self.LTK)
+        sim.run(until_us=2_000_000)
+        payload = b"\x06\x00\x04\x00secret"
+        master.send_data(payload)
+        sim.run(until_us=3_000_000)
+        # Inspect what actually went on air via the medium tap trace.
+        on_air = [r for r in sim.trace.filter(source="master", kind="tx")
+                  if r.detail.get("pdu_len", 0) > 2]
+        assert on_air  # something non-empty was transmitted
+        # The session keys on both sides must match.
+        assert master.encryption.session_key == slave.encryption.session_key
+
+    def test_connection_survives_encrypted_traffic(self):
+        sim, slave, master = build_pair(ltk=self.LTK)
+        connect(sim, slave, master)
+        master.start_encryption(self.LTK)
+        sim.run(until_us=5_000_000)
+        assert master.is_connected and slave.is_connected

@@ -1,0 +1,154 @@
+"""Unit tests for advertising PDUs and CONNECT_REQ (paper Table II)."""
+
+import pytest
+
+from repro.errors import CodecError
+from repro.ll.pdu.address import BdAddress
+from repro.ll.pdu.advertising import (
+    AdvInd,
+    ConnectReq,
+    LLData,
+    ScanReq,
+    ScanRsp,
+    decode_advertising_pdu,
+)
+
+ADDR_A = BdAddress.from_str("AA:BB:CC:DD:EE:FF")
+ADDR_B = BdAddress.from_str("11:22:33:44:55:66", random=True)
+
+
+def make_ll_data(**overrides) -> LLData:
+    fields = dict(
+        access_address=0x50123456,
+        crc_init=0xABCDEF,
+        win_size=2,
+        win_offset=4,
+        interval=75,
+        latency=0,
+        timeout=300,
+        channel_map=(1 << 37) - 1,
+        hop_increment=9,
+        sca=5,
+    )
+    fields.update(overrides)
+    return LLData(**fields)
+
+
+class TestBdAddress:
+    def test_string_round_trip(self):
+        assert str(ADDR_A) == "AA:BB:CC:DD:EE:FF"
+
+    def test_bytes_little_endian(self):
+        assert ADDR_A.to_bytes() == bytes.fromhex("FFEEDDCCBBAA")
+
+    def test_bytes_round_trip(self):
+        assert BdAddress.from_bytes(ADDR_A.to_bytes()) == ADDR_A
+
+    def test_malformed_string_rejected(self):
+        with pytest.raises(CodecError):
+            BdAddress.from_str("not-an-address")
+
+    def test_generate_static_random_top_bits(self):
+        import numpy as np
+
+        addr = BdAddress.generate(np.random.default_rng(1))
+        assert (addr.value >> 46) & 0b11 == 0b11
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(CodecError):
+            BdAddress(1 << 48)
+
+
+class TestAdvInd:
+    def test_round_trip(self):
+        pdu = AdvInd(ADDR_A, b"\x02\x01\x06")
+        decoded = decode_advertising_pdu(pdu.to_bytes())
+        assert isinstance(decoded, AdvInd)
+        assert decoded.adv_addr == ADDR_A
+        assert decoded.adv_data == b"\x02\x01\x06"
+
+    def test_tx_add_carries_random_flag(self):
+        pdu = AdvInd(ADDR_B)
+        decoded = decode_advertising_pdu(pdu.to_bytes())
+        assert decoded.adv_addr.random
+
+    def test_adv_data_max_31_bytes(self):
+        with pytest.raises(CodecError):
+            AdvInd(ADDR_A, bytes(32))
+
+
+class TestScanPdus:
+    def test_scan_req_round_trip(self):
+        pdu = ScanReq(ADDR_B, ADDR_A)
+        decoded = decode_advertising_pdu(pdu.to_bytes())
+        assert isinstance(decoded, ScanReq)
+        assert decoded.scan_addr == ADDR_B
+        assert decoded.adv_addr == ADDR_A
+
+    def test_scan_rsp_round_trip(self):
+        pdu = ScanRsp(ADDR_A, b"\x05\x09watch"[:7])
+        decoded = decode_advertising_pdu(pdu.to_bytes())
+        assert isinstance(decoded, ScanRsp)
+        assert decoded.adv_addr == ADDR_A
+
+
+class TestLLData:
+    def test_is_22_bytes(self):
+        # Table II: AA(4) CRCInit(3) WinSize(1) WinOffset(2) Interval(2)
+        # Latency(2) Timeout(2) ChM(5) Hop(5b)+SCA(3b).
+        assert len(make_ll_data().to_bytes()) == 22
+
+    def test_round_trip(self):
+        ll_data = make_ll_data()
+        assert LLData.from_bytes(ll_data.to_bytes()) == ll_data
+
+    def test_hop_and_sca_packed_in_last_byte(self):
+        ll_data = make_ll_data(hop_increment=0x0F, sca=0x7)
+        last = ll_data.to_bytes()[-1]
+        assert last & 0x1F == 0x0F
+        assert last >> 5 == 0x7
+
+    @pytest.mark.parametrize("field,value", [
+        ("win_size", 0), ("win_size", 9),
+        ("interval", 5), ("interval", 3201),
+        ("hop_increment", 4), ("hop_increment", 17),
+        ("sca", 8), ("channel_map", 0),
+    ])
+    def test_field_validation(self, field, value):
+        with pytest.raises(CodecError):
+            make_ll_data(**{field: value})
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(CodecError):
+            LLData.from_bytes(bytes(21))
+
+
+class TestConnectReq:
+    def test_round_trip(self):
+        req = ConnectReq(ADDR_B, ADDR_A, make_ll_data())
+        decoded = decode_advertising_pdu(req.to_bytes())
+        assert isinstance(decoded, ConnectReq)
+        assert decoded == req
+
+    def test_body_is_34_bytes(self):
+        req = ConnectReq(ADDR_B, ADDR_A, make_ll_data())
+        assert req.to_bytes()[1] == 34
+
+    def test_address_type_flags(self):
+        req = ConnectReq(ADDR_B, ADDR_A, make_ll_data())
+        decoded = decode_advertising_pdu(req.to_bytes())
+        assert decoded.init_addr.random and not decoded.adv_addr.random
+
+
+class TestDecodeErrors:
+    def test_too_short(self):
+        with pytest.raises(CodecError):
+            decode_advertising_pdu(b"\x00")
+
+    def test_length_mismatch(self):
+        with pytest.raises(CodecError):
+            decode_advertising_pdu(b"\x00\x10\x01")
+
+    def test_unknown_type(self):
+        with pytest.raises(CodecError):
+            decode_advertising_pdu(bytes([0x0F, 0]))

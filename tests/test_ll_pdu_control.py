@@ -1,0 +1,106 @@
+"""Unit tests for LL control PDU codecs."""
+
+import pytest
+
+from repro.errors import CodecError
+from repro.ll.pdu.control import (
+    ChannelMapInd,
+    ClockAccuracyReq,
+    ClockAccuracyRsp,
+    ConnectionUpdateInd,
+    ControlOpcode,
+    EncReq,
+    EncRsp,
+    FeatureReq,
+    FeatureRsp,
+    PingReq,
+    PingRsp,
+    RejectInd,
+    StartEncReq,
+    StartEncRsp,
+    TerminateInd,
+    UnknownRsp,
+    VersionInd,
+    decode_control_pdu,
+)
+
+ALL_PDUS = [
+    ConnectionUpdateInd(win_size=2, win_offset=3, interval=75, latency=0,
+                        timeout=300, instant=1234),
+    ChannelMapInd(channel_map=0x1F00FF00FF, instant=77),
+    TerminateInd(error_code=0x13),
+    EncReq(rand=0x0123456789ABCDEF, ediv=0xBEEF, skd_m=0x1122334455667788,
+           iv_m=0xDEADBEEF),
+    EncRsp(skd_s=0x99AABBCCDDEEFF00 >> 1, iv_s=0xCAFEBABE),
+    StartEncReq(),
+    StartEncRsp(),
+    UnknownRsp(unknown_type=0x42),
+    FeatureReq(features=0x1F),
+    FeatureRsp(features=0x01),
+    VersionInd(version=9, company=0x0059, subversion=0x1234),
+    RejectInd(error_code=0x0C),
+    PingReq(),
+    PingRsp(),
+    ClockAccuracyReq(sca=7),
+    ClockAccuracyRsp(sca=5),
+]
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("pdu", ALL_PDUS, ids=lambda p: type(p).__name__)
+    def test_round_trip(self, pdu):
+        assert decode_control_pdu(pdu.to_payload()) == pdu
+
+    @pytest.mark.parametrize("pdu", ALL_PDUS, ids=lambda p: type(p).__name__)
+    def test_opcode_is_first_byte(self, pdu):
+        assert pdu.to_payload()[0] == int(pdu.OPCODE)
+
+
+class TestConnectionUpdate:
+    def test_ctr_data_length(self):
+        pdu = ConnectionUpdateInd(win_size=1, win_offset=0, interval=36,
+                                  latency=0, timeout=100, instant=10)
+        assert len(pdu.to_payload()) == 12  # opcode + 11 bytes (Fig. 2)
+
+    def test_little_endian_instant(self):
+        pdu = ConnectionUpdateInd(win_size=1, win_offset=0, interval=36,
+                                  latency=0, timeout=100, instant=0x0201)
+        assert pdu.to_payload()[-2:] == b"\x01\x02"
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(CodecError):
+            decode_control_pdu(bytes([ControlOpcode.LL_CONNECTION_UPDATE_IND])
+                               + bytes(10))
+
+
+class TestChannelMapInd:
+    def test_ctr_data_length(self):
+        pdu = ChannelMapInd(channel_map=(1 << 37) - 1, instant=5)
+        assert len(pdu.to_payload()) == 8  # opcode + 5 map + 2 instant
+
+    def test_map_out_of_range_rejected(self):
+        with pytest.raises(CodecError):
+            ChannelMapInd(channel_map=1 << 37, instant=5).to_payload()
+
+
+class TestTerminate:
+    def test_default_error_code(self):
+        # 0x13: remote user terminated — what Scenario B injects.
+        assert TerminateInd().error_code == 0x13
+
+    def test_payload_is_two_bytes(self):
+        assert len(TerminateInd().to_payload()) == 2
+
+
+class TestDecodeErrors:
+    def test_empty_rejected(self):
+        with pytest.raises(CodecError):
+            decode_control_pdu(b"")
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(CodecError):
+            decode_control_pdu(b"\xfe")
+
+    def test_truncated_enc_req_rejected(self):
+        with pytest.raises(CodecError):
+            decode_control_pdu(bytes([ControlOpcode.LL_ENC_REQ]) + bytes(21))

@@ -1,0 +1,80 @@
+"""Unit tests for data-channel PDU codecs."""
+
+import pytest
+
+from repro.errors import CodecError
+from repro.ll.pdu.data import LLID, DataHeader, DataPdu
+
+
+class TestDataHeader:
+    def test_round_trip(self):
+        header = DataHeader(LLID.DATA_START, nesn=1, sn=0, md=1, length=12)
+        assert DataHeader.from_bytes(header.to_bytes()) == header
+
+    def test_bit_layout(self):
+        header = DataHeader(LLID.CONTROL, nesn=1, sn=1, md=0, length=5)
+        byte0 = header.to_bytes()[0]
+        assert byte0 & 0b11 == 0b11      # LLID
+        assert (byte0 >> 2) & 1 == 1     # NESN
+        assert (byte0 >> 3) & 1 == 1     # SN
+        assert (byte0 >> 4) & 1 == 0     # MD
+
+    def test_length_byte(self):
+        header = DataHeader(LLID.DATA_START, length=200)
+        assert header.to_bytes()[1] == 200
+
+    def test_reserved_llid_rejected(self):
+        with pytest.raises(CodecError):
+            DataHeader.from_bytes(b"\x00\x00")
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(CodecError):
+            DataHeader(LLID.DATA_START, nesn=2)
+
+    def test_length_out_of_range_rejected(self):
+        with pytest.raises(CodecError):
+            DataHeader(LLID.DATA_START, length=300)
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(CodecError):
+            DataHeader.from_bytes(b"\x01")
+
+
+class TestDataPdu:
+    def test_round_trip(self):
+        pdu = DataPdu.make(LLID.DATA_START, b"hello", sn=1, nesn=0)
+        assert DataPdu.from_bytes(pdu.to_bytes()) == pdu
+
+    def test_empty_pdu(self):
+        pdu = DataPdu.empty(sn=1, nesn=1)
+        assert pdu.is_empty
+        assert pdu.to_bytes() == bytes([0b0000_1101, 0])
+
+    def test_empty_detection_needs_continuation_llid(self):
+        pdu = DataPdu.make(LLID.DATA_START, b"")
+        assert not pdu.is_empty
+
+    def test_control_flag(self):
+        assert DataPdu.make(LLID.CONTROL, b"\x02\x13").is_control
+        assert not DataPdu.make(LLID.DATA_START, b"x").is_control
+
+    def test_header_length_must_match_payload(self):
+        with pytest.raises(CodecError):
+            DataPdu(DataHeader(LLID.DATA_START, length=4), b"xy")
+
+    def test_truncated_buffer_rejected(self):
+        pdu_bytes = DataPdu.make(LLID.DATA_START, b"abcdef").to_bytes()
+        with pytest.raises(CodecError):
+            DataPdu.from_bytes(pdu_bytes[:-2])
+
+    def test_trailing_bytes_rejected(self):
+        pdu_bytes = DataPdu.make(LLID.DATA_START, b"abc").to_bytes()
+        with pytest.raises(CodecError):
+            DataPdu.from_bytes(pdu_bytes + b"\x00")
+
+    def test_with_bits_rewrites_only_bits(self):
+        pdu = DataPdu.make(LLID.DATA_START, b"data", sn=0, nesn=0, md=1)
+        rewritten = pdu.with_bits(sn=1, nesn=1)
+        assert rewritten.payload == pdu.payload
+        assert rewritten.header.md == 1
+        assert rewritten.header.sn == 1 and rewritten.header.nesn == 1

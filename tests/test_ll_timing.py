@@ -1,0 +1,110 @@
+"""Unit tests for window widening and transmit windows — the formulas the
+attack turns against the protocol (paper eq. 1, 4, 5)."""
+
+import pytest
+
+from repro.errors import LinkLayerError
+from repro.ll.timing import (
+    WINDOW_WIDENING_CONSTANT_US,
+    WORST_CASE_SLAVE_SCA_PPM,
+    Window,
+    anchor_after,
+    receive_window,
+    transmit_window,
+    window_widening_us,
+)
+from repro.utils.units import SLOT_US
+
+
+class TestWindowWidening:
+    def test_formula_5_hop_75(self):
+        # (50+20)/1e6 * 93750 + 32 = 38.5625 µs.
+        w = window_widening_us(50.0, 20.0, 75 * SLOT_US)
+        assert w == pytest.approx(38.5625)
+
+    def test_constant_term_is_32us(self):
+        assert window_widening_us(0.0, 0.0, 100_000.0) == \
+            WINDOW_WIDENING_CONSTANT_US
+
+    def test_grows_with_interval(self):
+        w1 = window_widening_us(50, 50, 25 * SLOT_US)
+        w2 = window_widening_us(50, 50, 150 * SLOT_US)
+        assert w2 > w1
+
+    def test_grows_with_sca(self):
+        assert window_widening_us(500, 500, 50_000) > \
+            window_widening_us(20, 20, 50_000)
+
+    def test_worst_case_slave_sca_is_20ppm(self):
+        # Paper §V-C: attacker assumes 20 ppm (smallest window).
+        assert WORST_CASE_SLAVE_SCA_PPM == 20.0
+        w_worst = window_widening_us(50, WORST_CASE_SLAVE_SCA_PPM, 50_000)
+        w_real = window_widening_us(50, 50, 50_000)
+        assert w_worst < w_real
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(LinkLayerError):
+            window_widening_us(-1, 20, 1000)
+        with pytest.raises(LinkLayerError):
+            window_widening_us(50, 20, -1)
+
+
+class TestReceiveWindow:
+    def test_centred_on_prediction(self):
+        window = receive_window(1_000_000.0, 50, 50, 45_000.0)
+        w = window_widening_us(50, 50, 45_000.0)
+        assert window.start_us == pytest.approx(1_000_000.0 - w)
+        assert window.end_us == pytest.approx(1_000_000.0 + w)
+
+    def test_contains_prediction(self):
+        window = receive_window(500.0, 50, 50, 45_000.0)
+        assert window.contains(500.0)
+
+
+class TestTransmitWindow:
+    def test_formula_1(self):
+        # t_start = t_init + 1.25ms + WinOffset*1.25ms.
+        window = transmit_window(10_000.0, win_offset_slots=2,
+                                 win_size_slots=3)
+        assert window.start_us == pytest.approx(10_000.0 + 1250.0 + 2500.0)
+        assert window.duration_us == pytest.approx(3 * 1250.0)
+
+    def test_zero_offset(self):
+        window = transmit_window(0.0, 0, 1)
+        assert window.start_us == 1250.0
+
+    def test_invalid_win_size_rejected(self):
+        with pytest.raises(LinkLayerError):
+            transmit_window(0.0, 0, 0)
+        with pytest.raises(LinkLayerError):
+            transmit_window(0.0, 0, 9)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(LinkLayerError):
+            transmit_window(0.0, -1, 1)
+
+
+class TestAnchorPrediction:
+    def test_one_event_ahead(self):
+        assert anchor_after(1000.0, 36) == 1000.0 + 36 * SLOT_US
+
+    def test_multiple_events(self):
+        assert anchor_after(0.0, 20, events=5) == 5 * 20 * SLOT_US
+
+    def test_zero_events_is_identity(self):
+        assert anchor_after(777.0, 36, events=0) == 777.0
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(LinkLayerError):
+            anchor_after(0.0, 0)
+
+
+class TestWindowObject:
+    def test_inverted_window_rejected(self):
+        with pytest.raises(LinkLayerError):
+            Window(10.0, 5.0)
+
+    def test_contains_bounds_inclusive(self):
+        window = Window(1.0, 2.0)
+        assert window.contains(1.0) and window.contains(2.0)
+        assert not window.contains(2.1)

@@ -1,0 +1,78 @@
+"""Unit tests for the BLE channel plan."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.channels import (
+    ADVERTISING_CHANNELS,
+    DATA_CHANNELS,
+    NUM_CHANNELS,
+    Channel,
+    channel_to_frequency_mhz,
+    frequency_mhz_to_channel,
+)
+
+
+class TestChannelPlan:
+    def test_forty_channels(self):
+        assert NUM_CHANNELS == 40
+        assert len(DATA_CHANNELS) == 37
+        assert len(ADVERTISING_CHANNELS) == 3
+
+    def test_advertising_channel_frequencies(self):
+        # The three advertising channels dodge Wi-Fi 1/6/11.
+        assert channel_to_frequency_mhz(37) == 2402
+        assert channel_to_frequency_mhz(38) == 2426
+        assert channel_to_frequency_mhz(39) == 2480
+
+    def test_data_channel_0(self):
+        assert channel_to_frequency_mhz(0) == 2404
+
+    def test_data_channel_10_and_11_straddle_ch38(self):
+        assert channel_to_frequency_mhz(10) == 2424
+        assert channel_to_frequency_mhz(11) == 2428
+
+    def test_data_channel_36(self):
+        assert channel_to_frequency_mhz(36) == 2478
+
+    def test_all_frequencies_unique(self):
+        freqs = [channel_to_frequency_mhz(i) for i in range(40)]
+        assert len(set(freqs)) == 40
+
+    def test_all_frequencies_in_ism_band(self):
+        for i in range(40):
+            assert 2402 <= channel_to_frequency_mhz(i) <= 2480
+
+    def test_inverse_mapping(self):
+        for i in range(40):
+            assert frequency_mhz_to_channel(channel_to_frequency_mhz(i)) == i
+
+    def test_invalid_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            channel_to_frequency_mhz(40)
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            frequency_mhz_to_channel(2403)
+
+
+class TestChannelObject:
+    def test_advertising_flag(self):
+        assert Channel(37).is_advertising
+        assert not Channel(0).is_advertising
+
+    def test_data_flag(self):
+        assert Channel(5).is_data
+
+    def test_whitening_init_has_bit6_set(self):
+        for i in range(40):
+            init = Channel(i).whitening_init()
+            assert init & 0x40
+            assert init & 0x3F == i
+
+    def test_int_conversion(self):
+        assert int(Channel(12)) == 12
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Channel(-1)

@@ -1,0 +1,117 @@
+"""Unit tests for the capture-effect collision model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.collision import CollisionModel, Overlap
+from repro.phy.signal import RadioFrame
+
+
+def make_frame(pdu_len=14, start=0.0):
+    return RadioFrame(access_address=0x12345678, pdu=bytes(pdu_len),
+                      crc=0, channel=5, start_us=start, tx_power_dbm=0.0)
+
+
+class TestSurvivalProbability:
+    def test_monotone_in_sir(self):
+        model = CollisionModel()
+        probs = [model.survival_probability(sir, 100.0)
+                 for sir in (-20, -10, 0, 10, 20)]
+        assert probs == sorted(probs)
+
+    def test_monotone_in_duration(self):
+        # Longer exposed region => lower survival (paper §VII-B shape).
+        model = CollisionModel()
+        probs = [model.survival_probability(0.0, d)
+                 for d in (200, 150, 100, 50, 10)]
+        assert probs == sorted(probs)
+
+    def test_strong_signal_nearly_always_survives(self):
+        model = CollisionModel()
+        assert model.survival_probability(40.0, 50.0) > 0.95
+
+    def test_weak_signal_nearly_always_dies(self):
+        model = CollisionModel()
+        assert model.survival_probability(-40.0, 150.0) < 0.05
+
+    def test_floor_and_ceiling_respected(self):
+        model = CollisionModel(floor_survival=0.01, ceiling_survival=0.9)
+        assert model.survival_probability(-100, 500) >= 0.01
+        assert model.survival_probability(100, 0) <= 0.9
+
+    def test_phase_shifts_probability(self):
+        model = CollisionModel()
+        base = model.survival_probability(0.0, 100.0)
+        assert model.survival_probability(0.0, 100.0, phase_db=10.0) > base
+
+
+class TestOverlap:
+    def test_duration(self):
+        assert Overlap(10.0, 60.0, 0.0).duration_us == 50.0
+
+    def test_negative_duration_clamped(self):
+        assert Overlap(60.0, 10.0, 0.0).duration_us == 0.0
+
+
+class TestResolve:
+    def test_no_overlap_survives(self):
+        model = CollisionModel()
+        rng = np.random.default_rng(1)
+        outcome = model.resolve(make_frame(), [], rng)
+        assert outcome.survived
+        assert outcome.overlapped_bits == 0
+
+    def test_overlapped_bits_counted(self):
+        model = CollisionModel()
+        rng = np.random.default_rng(1)
+        frame = make_frame()
+        overlap = Overlap(0.0, 100.0, 30.0)
+        outcome = model.resolve(frame, [overlap], rng)
+        assert outcome.overlapped_bits == 100  # 1 bit per µs at LE 1M
+
+    def test_very_strong_wanted_signal_survives(self):
+        model = CollisionModel(phase_sigma_db=0.0)
+        rng = np.random.default_rng(2)
+        frame = make_frame()
+        outcome = model.resolve(frame, [Overlap(0.0, 50.0, 50.0)], rng)
+        assert outcome.survived
+
+    def test_very_weak_wanted_signal_dies_statistically(self):
+        model = CollisionModel()
+        rng = np.random.default_rng(3)
+        frame = make_frame()
+        dead = sum(
+            not model.resolve(frame, [Overlap(0.0, 150.0, -40.0)], rng).survived
+            for _ in range(50)
+        )
+        assert dead >= 45
+
+    def test_equal_power_is_a_coin_flip_ish(self):
+        # At SIR 0 over ~150 µs the capture model should give an
+        # intermediate success rate — this is what makes the paper's
+        # equal-distance experiments converge in a handful of attempts.
+        model = CollisionModel()
+        rng = np.random.default_rng(4)
+        frame = make_frame()
+        survived = sum(
+            model.resolve(frame, [Overlap(0.0, 150.0, 0.0)], rng).survived
+            for _ in range(300)
+        )
+        assert 0.10 < survived / 300 < 0.65
+
+    def test_all_overlaps_must_survive(self):
+        model = CollisionModel(phase_sigma_db=0.0)
+        rng = np.random.default_rng(5)
+        frame = make_frame()
+        overlaps = [Overlap(0.0, 30.0, 50.0), Overlap(50.0, 180.0, -50.0)]
+        outcome = model.resolve(frame, overlaps, rng)
+        assert not outcome.survived
+
+    def test_invalid_steepness_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CollisionModel(steepness_db=0.0)
+
+    def test_invalid_probability_clamps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CollisionModel(floor_survival=0.5, ceiling_survival=0.4)

@@ -1,0 +1,83 @@
+"""Unit tests for BLE CRC-24 and its reversal."""
+
+import random
+
+import pytest
+
+from repro.errors import CodecError
+from repro.phy.crc import (
+    ADVERTISING_CRC_INIT,
+    crc24,
+    crc24_check,
+    crc24_init_from_bytes,
+    reverse_crc24_init,
+)
+
+
+class TestCrc24:
+    def test_deterministic(self):
+        assert crc24(b"hello", 0x123456) == crc24(b"hello", 0x123456)
+
+    def test_always_24_bits(self):
+        rng = random.Random(5)
+        for _ in range(50):
+            data = bytes(rng.randrange(256) for _ in range(rng.randrange(60)))
+            assert 0 <= crc24(data, rng.randrange(1 << 24)) < 1 << 24
+
+    def test_sensitive_to_single_bit_flip(self):
+        data = bytearray(b"\x01\x02\x03\x04")
+        reference = crc24(bytes(data), 0x555555)
+        data[2] ^= 0x10
+        assert crc24(bytes(data), 0x555555) != reference
+
+    def test_sensitive_to_init(self):
+        assert crc24(b"abc", 0x000001) != crc24(b"abc", 0x000002)
+
+    def test_check_accepts_matching(self):
+        value = crc24(b"payload", ADVERTISING_CRC_INIT)
+        assert crc24_check(b"payload", value, ADVERTISING_CRC_INIT)
+
+    def test_check_rejects_mismatch(self):
+        value = crc24(b"payload", ADVERTISING_CRC_INIT)
+        assert not crc24_check(b"payload!", value, ADVERTISING_CRC_INIT)
+
+    def test_empty_data_returns_init(self):
+        assert crc24(b"", 0xABCDEF) == 0xABCDEF
+
+    def test_invalid_init_rejected(self):
+        with pytest.raises(CodecError):
+            crc24(b"x", 1 << 24)
+
+
+class TestCrcInitField:
+    def test_little_endian_decode(self):
+        assert crc24_init_from_bytes(b"\x56\x34\x12") == 0x123456
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(CodecError):
+            crc24_init_from_bytes(b"\x01\x02")
+
+
+class TestReverseCrc:
+    def test_recovers_init_exactly(self):
+        """The sniffer's CRCInit recovery (Ryan 2013) must be exact."""
+        rng = random.Random(11)
+        for _ in range(100):
+            data = bytes(rng.randrange(256)
+                         for _ in range(rng.randrange(1, 50)))
+            init = rng.randrange(1 << 24)
+            assert reverse_crc24_init(data, crc24(data, init)) == init
+
+    def test_empty_data(self):
+        assert reverse_crc24_init(b"", 0x424242) == 0x424242
+
+    def test_consistent_across_frames(self):
+        # Two frames of one connection reverse to the same CRCInit.
+        init = 0x9A8B7C
+        a, b = b"frame-one", b"frame-two!"
+        assert reverse_crc24_init(a, crc24(a, init)) == \
+            reverse_crc24_init(b, crc24(b, init))
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(CodecError):
+            reverse_crc24_init(b"x", 1 << 24)

@@ -1,0 +1,57 @@
+"""Unit tests for PHY modes and air-time arithmetic."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.modulation import PhyMode, air_time_us, frame_length_bytes
+
+
+class TestFrameLength:
+    def test_paper_22_byte_frame(self):
+        # Paper §VII-A: a 14-byte PDU is a 22-byte over-the-air frame.
+        assert frame_length_bytes(14, PhyMode.LE_1M) == 22
+
+    def test_empty_pdu(self):
+        # Empty data PDU: preamble + AA + 2-byte header + CRC = 10 bytes.
+        assert frame_length_bytes(2, PhyMode.LE_1M) == 10
+
+    def test_le2m_has_longer_preamble(self):
+        assert frame_length_bytes(0, PhyMode.LE_2M) == \
+            frame_length_bytes(0, PhyMode.LE_1M) + 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            frame_length_bytes(-1)
+
+
+class TestAirTime:
+    def test_paper_176_us(self):
+        # Paper §VII-A: the 22-byte frame takes 176 µs at LE 1M.
+        assert air_time_us(14, PhyMode.LE_1M) == pytest.approx(176.0)
+
+    def test_le2m_is_twice_as_fast(self):
+        t1 = air_time_us(20, PhyMode.LE_1M)
+        t2 = air_time_us(20, PhyMode.LE_2M)
+        # LE 2M: double bit rate, one extra preamble byte.
+        assert t2 == pytest.approx((frame_length_bytes(20, PhyMode.LE_2M)) * 4.0)
+        assert t2 < t1
+
+    def test_coded_is_slower(self):
+        assert air_time_us(10, PhyMode.LE_CODED_S8) > \
+            air_time_us(10, PhyMode.LE_1M)
+
+    def test_monotone_in_pdu_length(self):
+        times = [air_time_us(n) for n in range(0, 50)]
+        assert times == sorted(times)
+
+
+class TestPhyMode:
+    def test_bit_rates(self):
+        assert PhyMode.LE_1M.bits_per_second == 1_000_000
+        assert PhyMode.LE_2M.bits_per_second == 2_000_000
+        assert PhyMode.LE_CODED_S2.bits_per_second == 500_000
+        assert PhyMode.LE_CODED_S8.bits_per_second == 125_000
+
+    def test_us_per_byte(self):
+        assert PhyMode.LE_1M.us_per_byte == 8.0
+        assert PhyMode.LE_2M.us_per_byte == 4.0

@@ -1,0 +1,78 @@
+"""Unit tests for the propagation model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.path_loss import PathLossModel, Wall, dbm_to_mw, mw_to_dbm
+
+
+class TestPowerConversions:
+    def test_zero_dbm_is_one_mw(self):
+        assert dbm_to_mw(0.0) == pytest.approx(1.0)
+
+    def test_round_trip(self):
+        assert mw_to_dbm(dbm_to_mw(-37.5)) == pytest.approx(-37.5)
+
+    def test_ten_db_is_factor_ten(self):
+        assert dbm_to_mw(10.0) == pytest.approx(10.0)
+
+    def test_non_positive_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mw_to_dbm(0.0)
+
+
+class TestPathLossModel:
+    def test_reference_loss_at_one_metre(self):
+        model = PathLossModel(reference_loss_db=40.0, shadowing_sigma_db=0.0)
+        assert model.mean_loss_db(1.0) == pytest.approx(40.0)
+
+    def test_loss_grows_with_distance(self):
+        model = PathLossModel(shadowing_sigma_db=0.0)
+        losses = [model.mean_loss_db(d) for d in (1, 2, 4, 8, 16)]
+        assert losses == sorted(losses)
+
+    def test_exponent_slope(self):
+        # n=2: +6.02 dB per doubling of distance.
+        model = PathLossModel(exponent=2.0, shadowing_sigma_db=0.0)
+        assert model.mean_loss_db(2.0) - model.mean_loss_db(1.0) == \
+            pytest.approx(6.02, abs=0.01)
+
+    def test_wall_adds_attenuation(self):
+        model = PathLossModel(shadowing_sigma_db=0.0)
+        free = model.mean_loss_db(3.0)
+        walled = model.mean_loss_db(3.0, walls=(Wall(8.0),))
+        assert walled == pytest.approx(free + 8.0)
+
+    def test_multiple_walls_accumulate(self):
+        model = PathLossModel(shadowing_sigma_db=0.0)
+        walls = (Wall(6.0), Wall(10.0))
+        assert model.mean_loss_db(1.0, walls=walls) == \
+            pytest.approx(model.mean_loss_db(1.0) + 16.0)
+
+    def test_distance_clamped_below_minimum(self):
+        model = PathLossModel(shadowing_sigma_db=0.0, min_distance_m=0.1)
+        assert model.mean_loss_db(0.0) == model.mean_loss_db(0.1)
+
+    def test_shadowing_varies_samples(self):
+        model = PathLossModel(shadowing_sigma_db=3.0)
+        rng = np.random.default_rng(1)
+        samples = {model.sample_loss_db(5.0, rng) for _ in range(10)}
+        assert len(samples) > 1
+
+    def test_shadowing_disabled_without_rng(self):
+        model = PathLossModel(shadowing_sigma_db=3.0)
+        assert model.sample_loss_db(5.0, None) == model.mean_loss_db(5.0)
+
+    def test_received_power(self):
+        model = PathLossModel(reference_loss_db=40.0, exponent=2.0,
+                              shadowing_sigma_db=0.0)
+        assert model.received_power_dbm(0.0, 1.0) == pytest.approx(-40.0)
+
+    def test_invalid_exponent_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PathLossModel(exponent=0.0)
+
+    def test_negative_wall_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Wall(-1.0)

@@ -1,0 +1,66 @@
+"""Unit tests for RadioFrame."""
+
+import pytest
+
+from repro.errors import MediumError
+from repro.phy.modulation import PhyMode
+from repro.phy.signal import RadioFrame
+
+
+def frame(start=0.0, pdu_len=14, channel=5, aa=0x12345678):
+    return RadioFrame(access_address=aa, pdu=bytes(pdu_len), crc=0,
+                      channel=channel, start_us=start, tx_power_dbm=0.0)
+
+
+class TestRadioFrame:
+    def test_duration_matches_air_time(self):
+        # 14-byte PDU = 22-byte frame = 176 µs at LE 1M.
+        assert frame().duration_us == pytest.approx(176.0)
+
+    def test_end_time(self):
+        f = frame(start=100.0)
+        assert f.end_us == pytest.approx(276.0)
+
+    def test_unique_frame_ids(self):
+        assert frame().frame_id != frame().frame_id
+
+    def test_overlap_same_channel(self):
+        a = frame(start=0.0)
+        b = frame(start=100.0)
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_no_overlap_when_disjoint(self):
+        a = frame(start=0.0)
+        b = frame(start=500.0)
+        assert not a.overlaps(b)
+
+    def test_no_overlap_across_channels(self):
+        a = frame(start=0.0, channel=1)
+        b = frame(start=0.0, channel=2)
+        assert not a.overlaps(b)
+
+    def test_touching_frames_do_not_overlap(self):
+        a = frame(start=0.0)
+        b = frame(start=a.duration_us)
+        assert not a.overlaps(b)
+
+    def test_copy_for_receiver_is_independent(self):
+        a = frame()
+        copy = a.copy_for_receiver()
+        copy.corrupted = True
+        assert not a.corrupted
+        assert copy.frame_id == a.frame_id
+
+    def test_le2m_duration_shorter(self):
+        f2 = RadioFrame(access_address=1 << 20, pdu=bytes(14), crc=0,
+                        channel=0, start_us=0.0, tx_power_dbm=0.0,
+                        phy=PhyMode.LE_2M)
+        assert f2.duration_us < frame().duration_us
+
+    def test_invalid_aa_rejected(self):
+        with pytest.raises(MediumError):
+            frame(aa=1 << 32)
+
+    def test_invalid_channel_rejected(self):
+        with pytest.raises(MediumError):
+            frame(channel=40)

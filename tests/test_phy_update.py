@@ -1,0 +1,172 @@
+"""Tests for the PHY update procedure and its offensive use.
+
+The PHY update (BLE 5.0) is another *instant*-based procedure, like the
+connection update Scenario C forges — so the injection primitive extends
+to it naturally: a forged LL_PHY_UPDATE_IND re-times nothing but switches
+the symbol rate, which a Master that never saw the PDU cannot follow.
+"""
+
+import pytest
+
+from repro.core.attacker import Attacker
+from repro.devices import Lightbulb, Smartphone
+from repro.errors import ConnectionStateError
+from repro.ll.connection import phy_mode_from_mask
+from repro.ll.pdu.control import (
+    PHY_1M,
+    PHY_2M,
+    PHY_CODED,
+    LengthReq,
+    LengthRsp,
+    PhyReq,
+    PhyRsp,
+    PhyUpdateInd,
+    decode_control_pdu,
+)
+from repro.phy.modulation import PhyMode
+from repro.sim.medium import Medium
+from repro.sim.simulator import Simulator
+from repro.sim.topology import Topology
+
+
+class TestPhyPduCodecs:
+    def test_phy_update_round_trip(self):
+        pdu = PhyUpdateInd(m_to_s_phy=PHY_2M, s_to_m_phy=PHY_2M, instant=99)
+        assert decode_control_pdu(pdu.to_payload()) == pdu
+
+    def test_phy_req_rsp_round_trip(self):
+        assert decode_control_pdu(PhyReq().to_payload()) == PhyReq()
+        assert decode_control_pdu(PhyRsp().to_payload()) == PhyRsp()
+
+    def test_length_req_rsp_round_trip(self):
+        assert decode_control_pdu(LengthReq().to_payload()) == LengthReq()
+        assert decode_control_pdu(LengthRsp().to_payload()) == LengthRsp()
+
+    def test_mask_mapping(self):
+        assert phy_mode_from_mask(PHY_1M) is PhyMode.LE_1M
+        assert phy_mode_from_mask(PHY_2M) is PhyMode.LE_2M
+        assert phy_mode_from_mask(PHY_CODED) is PhyMode.LE_CODED_S8
+
+
+def build_pair(seed=81, interval=36):
+    sim = Simulator(seed=seed)
+    topo = Topology()
+    topo.place("bulb", 0.0, 0.0)
+    topo.place("phone", 2.0, 0.0)
+    medium = Medium(sim, topo)
+    bulb = Lightbulb(sim, medium, "bulb")
+    phone = Smartphone(sim, medium, "phone", interval=interval)
+    bulb.power_on()
+    phone.connect_to(bulb.address)
+    sim.run(until_us=1_000_000)
+    assert phone.is_connected
+    return sim, bulb, phone
+
+
+class TestPhyUpdateProcedure:
+    def test_switch_to_2m(self):
+        sim, bulb, phone = build_pair()
+        phone.ll.request_phy_update(PHY_2M)
+        sim.run(until_us=4_000_000)
+        assert phone.ll.phy is PhyMode.LE_2M
+        assert bulb.ll.phy is PhyMode.LE_2M
+        assert phone.is_connected and bulb.ll.is_connected
+
+    def test_no_events_missed_across_switch(self):
+        sim, bulb, phone = build_pair(seed=82)
+        phone.ll.request_phy_update(PHY_2M)
+        sim.run(until_us=5_000_000)
+        assert len(sim.trace.filter(kind="event-missed")) == 0
+
+    def test_data_flows_on_new_phy(self):
+        sim, bulb, phone = build_pair(seed=83)
+        phone.ll.request_phy_update(PHY_2M)
+        sim.run(until_us=3_000_000)
+        ctrl = bulb.gatt.find_characteristic(0xFF11).value_handle
+        acks = []
+        phone.gatt.write(ctrl, Lightbulb.power_payload(False), acks.append)
+        sim.run(until_us=5_000_000)
+        assert acks == [True] and not bulb.is_on
+
+    def test_frames_shorter_on_2m(self):
+        sim, bulb, phone = build_pair(seed=84)
+        phone.ll.request_phy_update(PHY_2M)
+        sim.run(until_us=5_000_000)
+        # Empty data PDU: 80 µs at 1M, 44 µs at 2M (11 bytes × 4 µs).
+        late_txs = sim.trace.filter(source="phone", kind="master-tx")
+        assert late_txs
+        assert phone.ll.radio.tx_duration_us(2, PhyMode.LE_2M) == \
+            pytest.approx(44.0)
+
+    def test_double_pending_phy_rejected(self):
+        sim, bulb, phone = build_pair(seed=85)
+        phone.ll.request_phy_update(PHY_2M, instant_delta=20)
+        with pytest.raises(ConnectionStateError):
+            phone.ll.conn.schedule_phy(PhyUpdateInd(instant=30))
+
+    def test_mismatched_phys_cannot_hear_each_other(self):
+        """The physical basis of the desync: a 1M receiver cannot lock a
+        2M frame."""
+        from repro.sim.transceiver import Transceiver
+
+        sim = Simulator(seed=86)
+        topo = Topology()
+        topo.place("a", 0.0, 0.0)
+        topo.place("b", 1.0, 0.0)
+        medium = Medium(sim, topo)
+        a = Transceiver(sim, medium, "a")
+        b = Transceiver(sim, medium, "b")
+        got = []
+        b.on_frame = lambda f, rssi: got.append(f)
+        b.rx_phy = PhyMode.LE_1M
+        b.listen(5)
+        sim.schedule_at(10.0, lambda: a.transmit(1 << 20, b"x", 0, 5,
+                                                 phy=PhyMode.LE_2M))
+        sim.run()
+        assert got == []
+
+
+class TestAttackerThroughPhyUpdate:
+    def test_sniffer_follows_a_phy_switch(self):
+        sim = Simulator(seed=87)
+        topo = Topology.equilateral_triangle(("bulb", "phone", "attacker"))
+        medium = Medium(sim, topo)
+        bulb = Lightbulb(sim, medium, "bulb")
+        phone = Smartphone(sim, medium, "phone", interval=36)
+        attacker = Attacker(sim, medium, "attacker")
+        attacker.sniff_new_connections()
+        bulb.power_on()
+        phone.connect_to(bulb.address)
+        sim.run(until_us=1_500_000)
+        assert attacker.synchronized
+        phone.ll.request_phy_update(PHY_2M)
+        sim.run(until_us=5_000_000)
+        conn = attacker.connection
+        assert conn.phy is PhyMode.LE_2M
+        assert conn.alive and conn.events_since_anchor <= 1
+
+    def test_injection_on_2m_connection(self):
+        from repro.host.att.pdus import WriteReq
+        from repro.host.l2cap import CID_ATT, l2cap_encode
+
+        sim = Simulator(seed=88)
+        topo = Topology.equilateral_triangle(("bulb", "phone", "attacker"))
+        medium = Medium(sim, topo)
+        bulb = Lightbulb(sim, medium, "bulb")
+        phone = Smartphone(sim, medium, "phone", interval=75)
+        attacker = Attacker(sim, medium, "attacker")
+        attacker.sniff_new_connections()
+        bulb.power_on()
+        phone.connect_to(bulb.address)
+        sim.run(until_us=1_500_000)
+        phone.ll.request_phy_update(PHY_2M)
+        sim.run(until_us=4_000_000)
+        assert attacker.connection.phy is PhyMode.LE_2M
+        handle = bulb.gatt.find_characteristic(0xFF11).value_handle
+        payload = l2cap_encode(CID_ATT, WriteReq(
+            handle, Lightbulb.power_payload(False, pad_to=5)).to_bytes())
+        reports = []
+        attacker.inject(payload, on_done=reports.append)
+        sim.run(until_us=60_000_000)
+        assert reports and reports[0].success
+        assert not bulb.is_on

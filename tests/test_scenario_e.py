@@ -1,0 +1,117 @@
+"""Tests for Scenario E: HID-over-GATT keystroke injection (§IX)."""
+
+import pytest
+
+from repro.core.attacker import Attacker
+from repro.core.scenarios.scenario_e import (
+    BOOT_KEYBOARD_REPORT_MAP,
+    KeystrokeInjectionScenario,
+    UUID_HID_REPORT,
+    UUID_HID_SERVICE,
+    decode_reports,
+    encode_keystroke,
+    hid_keyboard_gatt_server,
+)
+from repro.devices import Keyfob, Smartphone
+from repro.errors import AttackError
+from repro.sim.medium import Medium
+from repro.sim.simulator import Simulator
+from repro.sim.topology import Topology
+
+
+class TestKeystrokeEncoding:
+    def test_lowercase_letter(self):
+        down, up = encode_keystroke("a")
+        assert down == bytes([0, 0, 0x04, 0, 0, 0, 0, 0])
+        assert up == bytes(8)
+
+    def test_uppercase_uses_shift(self):
+        down, _ = encode_keystroke("A")
+        assert down[0] & 0x02
+        assert down[2] == 0x04
+
+    def test_digits(self):
+        down, _ = encode_keystroke("1")
+        assert down[2] == 0x1E
+
+    def test_enter(self):
+        down, _ = encode_keystroke("\n")
+        assert down[2] == 0x28
+
+    def test_round_trip_sentence(self):
+        text = "Hello World 123!\n"
+        reports = []
+        for char in text:
+            down, up = encode_keystroke(char)
+            reports.extend([down, up])
+        assert decode_reports(reports) == text
+
+    def test_unknown_character_rejected(self):
+        with pytest.raises(AttackError):
+            encode_keystroke("é")
+
+    def test_multi_character_rejected(self):
+        with pytest.raises(AttackError):
+            encode_keystroke("ab")
+
+
+class TestKeyboardProfile:
+    def test_profile_has_hid_service(self):
+        server = hid_keyboard_gatt_server()
+        uuids = {s.uuid for s in server.services}
+        assert UUID_HID_SERVICE in uuids
+
+    def test_report_map_served(self):
+        server = hid_keyboard_gatt_server()
+        char = server.find_characteristic(0x2A4B)
+        assert char.value == BOOT_KEYBOARD_REPORT_MAP
+
+    def test_report_characteristic_notifies(self):
+        server = hid_keyboard_gatt_server()
+        char = server.find_characteristic(UUID_HID_REPORT)
+        assert char.notify and char.cccd_handle != 0
+
+
+class TestScenarioELive:
+    def build(self, seed=67):
+        sim = Simulator(seed=seed)
+        topo = Topology.equilateral_triangle(("fob", "phone", "attacker"))
+        medium = Medium(sim, topo)
+        fob = Keyfob(sim, medium, "fob")
+        fob.ll.readvertise_on_disconnect = False
+        phone = Smartphone(sim, medium, "phone", interval=36)
+        attacker = Attacker(sim, medium, "attacker")
+        attacker.sniff_new_connections()
+        fob.power_on()
+        phone.connect_to(fob.address)
+        sim.run(until_us=1_200_000)
+        assert attacker.synchronized
+        return sim, fob, phone, attacker
+
+    def test_keystrokes_reach_the_master(self):
+        sim, fob, phone, attacker = self.build()
+        seen = []
+        phone.gatt.on_notification = lambda h, v: seen.append(v)
+        results = []
+        scenario = KeystrokeInjectionScenario(attacker)
+        scenario.run(on_done=results.append)
+        sim.run(until_us=10_000_000)
+        assert results[0].success
+        scenario.type_text("rm -rf x\n")
+        sim.run(until_us=sim.now + 10_000_000)
+        assert decode_reports(seen) == "rm -rf x\n"
+
+    def test_type_before_hijack_rejected(self):
+        sim, fob, phone, attacker = self.build(seed=68)
+        scenario = KeystrokeInjectionScenario(attacker)
+        with pytest.raises(AttackError):
+            scenario.type_text("too early")
+
+    def test_keystroke_counter(self):
+        sim, fob, phone, attacker = self.build(seed=69)
+        results = []
+        scenario = KeystrokeInjectionScenario(attacker)
+        scenario.run(on_done=results.append)
+        sim.run(until_us=10_000_000)
+        scenario.type_text("ab")
+        assert results[0].keystrokes_sent == 4  # 2 chars × down+up

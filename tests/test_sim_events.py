@@ -1,0 +1,70 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim.events import EventQueue
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(30.0, lambda: fired.append(3))
+        queue.push(10.0, lambda: fired.append(1))
+        queue.push(20.0, lambda: fired.append(2))
+        while (event := queue.pop()) is not None:
+            event.handler()
+        assert fired == [1, 2, 3]
+
+    def test_ties_fire_in_scheduling_order(self):
+        queue = EventQueue()
+        fired = []
+        for i in range(5):
+            queue.push(7.0, lambda i=i: fired.append(i))
+        while (event := queue.pop()) is not None:
+            event.handler()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        fired = []
+        keep = queue.push(1.0, lambda: fired.append("keep"))
+        drop = queue.push(0.5, lambda: fired.append("drop"))
+        drop.cancel()
+        while (event := queue.pop()) is not None:
+            event.handler()
+        assert fired == ["keep"]
+        assert keep.time_us == 1.0
+
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        a = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        a.cancel()
+        assert len(queue) == 1
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        queue.push(9.0, lambda: None)
+        first = queue.push(4.0, lambda: None)
+        assert queue.peek_time() == 4.0
+        first.cancel()
+        assert queue.peek_time() == 9.0
+
+    def test_peek_empty(self):
+        assert EventQueue().peek_time() is None
+
+    def test_pop_empty(self):
+        assert EventQueue().pop() is None
+
+    def test_clear(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.clear()
+        assert len(queue) == 0
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(SchedulingError):
+            EventQueue().push(1.0, "not-callable")

@@ -1,0 +1,187 @@
+"""Integration tests for the radio medium: delivery, locking, collisions."""
+
+import pytest
+
+from repro.phy.collision import CollisionModel
+from repro.phy.path_loss import PathLossModel
+from repro.sim.medium import Medium
+from repro.sim.simulator import Simulator
+from repro.sim.topology import Topology
+from repro.sim.transceiver import Transceiver
+
+
+def build_world(seed=1, positions=None, **medium_kwargs):
+    sim = Simulator(seed=seed)
+    topo = Topology()
+    for name, (x, y) in (positions or {
+        "tx": (0.0, 0.0), "rx": (2.0, 0.0), "other": (1.0, 1.7),
+    }).items():
+        topo.place(name, x, y)
+    medium = Medium(sim, topo, **medium_kwargs)
+    radios = {name: Transceiver(sim, medium, name) for name in topo.positions}
+    return sim, medium, radios
+
+
+class TestDelivery:
+    def test_listening_receiver_gets_frame(self):
+        sim, medium, radios = build_world()
+        got = []
+        radios["rx"].on_frame = lambda f, rssi: got.append((f, rssi))
+        radios["rx"].listen(7)
+        sim.schedule_at(10.0, lambda: radios["tx"].transmit(1 << 20, b"abc", 0, 7))
+        sim.run()
+        assert len(got) == 1
+        frame, rssi = got[0]
+        assert frame.pdu == b"abc" and not frame.corrupted
+        assert rssi < 0  # some path loss happened
+
+    def test_delivery_at_frame_end(self):
+        sim, medium, radios = build_world()
+        seen_at = []
+        radios["rx"].on_frame = lambda f, rssi: seen_at.append(sim.now)
+        radios["rx"].listen(7)
+        sim.schedule_at(10.0, lambda: radios["tx"].transmit(1 << 20, bytes(14), 0, 7))
+        sim.run()
+        assert seen_at[0] == pytest.approx(10.0 + 176.0)
+
+    def test_wrong_channel_not_delivered(self):
+        sim, medium, radios = build_world()
+        got = []
+        radios["rx"].on_frame = lambda f, rssi: got.append(f)
+        radios["rx"].listen(8)
+        sim.schedule_at(10.0, lambda: radios["tx"].transmit(1 << 20, b"x", 0, 7))
+        sim.run()
+        assert got == []
+
+    def test_not_listening_not_delivered(self):
+        sim, medium, radios = build_world()
+        got = []
+        radios["rx"].on_frame = lambda f, rssi: got.append(f)
+        sim.schedule_at(10.0, lambda: radios["tx"].transmit(1 << 20, b"x", 0, 7))
+        sim.run()
+        assert got == []
+
+    def test_late_tuner_misses_frame(self):
+        # A receiver that tunes in mid-frame cannot sync on the preamble.
+        sim, medium, radios = build_world()
+        got = []
+        radios["rx"].on_frame = lambda f, rssi: got.append(f)
+        sim.schedule_at(10.0, lambda: radios["tx"].transmit(1 << 20, bytes(20), 0, 7))
+        sim.schedule_at(50.0, lambda: radios["rx"].listen(7))
+        sim.run()
+        assert got == []
+
+    def test_out_of_range_receiver_misses(self):
+        sim, medium, radios = build_world(
+            positions={"tx": (0.0, 0.0), "rx": (4000.0, 0.0)},
+            path_loss=PathLossModel(shadowing_sigma_db=0.0),
+        )
+        got = []
+        radios["rx"].on_frame = lambda f, rssi: got.append(f)
+        radios["rx"].listen(7)
+        sim.schedule_at(10.0, lambda: radios["tx"].transmit(1 << 20, b"x", 0, 7))
+        sim.run()
+        assert got == []
+
+    def test_sender_does_not_hear_itself(self):
+        sim, medium, radios = build_world()
+        got = []
+        radios["tx"].on_frame = lambda f, rssi: got.append(f)
+        radios["tx"].listen(7)
+        sim.schedule_at(10.0, lambda: radios["tx"].transmit(1 << 20, b"x", 0, 7))
+        sim.run()
+        assert got == []
+
+
+class TestLocking:
+    def test_receiver_locks_first_frame(self):
+        """The first-frame lock is the mechanism InjectaBLE's race exploits."""
+        sim, medium, radios = build_world()
+        got = []
+        radios["rx"].on_frame = lambda f, rssi: got.append(f)
+        radios["rx"].listen(7)
+        sim.schedule_at(10.0,
+                        lambda: radios["tx"].transmit(0x11111111, bytes(20), 0, 7))
+        sim.schedule_at(60.0,
+                        lambda: radios["other"].transmit(0x22222222, bytes(20), 0, 7))
+        sim.run()
+        # Only the first frame is delivered; the second was interference.
+        assert len(got) == 1
+        assert got[0].access_address == 0x11111111
+
+    def test_equal_power_collision_often_corrupts(self):
+        corrupted = 0
+        for seed in range(30):
+            sim, medium, radios = build_world(seed=seed)
+            got = []
+            radios["rx"].on_frame = lambda f, rssi: got.append(f)
+            radios["rx"].listen(7)
+            sim.schedule_at(10.0, lambda r=radios: r["tx"].transmit(
+                0x11111111, bytes(20), 0, 7))
+            sim.schedule_at(60.0, lambda r=radios: r["other"].transmit(
+                0x22222222, bytes(20), 0, 7))
+            sim.run()
+            if got and got[0].corrupted:
+                corrupted += 1
+        assert 5 < corrupted < 30  # probabilistic capture, not all-or-nothing
+
+    def test_receiver_free_after_frame_ends(self):
+        sim, medium, radios = build_world()
+        got = []
+        radios["rx"].on_frame = lambda f, rssi: got.append(f)
+        radios["rx"].listen(7)
+        sim.schedule_at(10.0,
+                        lambda: radios["tx"].transmit(0x11111111, b"a", 0, 7))
+        sim.schedule_at(500.0,
+                        lambda: radios["other"].transmit(0x22222222, b"b", 0, 7))
+        sim.run()
+        assert [f.access_address for f in got] == [0x11111111, 0x22222222]
+
+    def test_abandoned_lock_not_delivered(self):
+        sim, medium, radios = build_world()
+        got = []
+        radios["rx"].on_frame = lambda f, rssi: got.append(f)
+        radios["rx"].listen(7)
+        sim.schedule_at(10.0,
+                        lambda: radios["tx"].transmit(0x11111111, bytes(30), 0, 7))
+        sim.schedule_at(50.0, radios["rx"].stop_listening)
+        sim.run()
+        assert got == []
+
+    def test_lock_end_query(self):
+        sim, medium, radios = build_world()
+        radios["rx"].listen(7)
+        observed = []
+        sim.schedule_at(10.0,
+                        lambda: radios["tx"].transmit(0x11111111, bytes(30), 0, 7))
+        sim.schedule_at(50.0,
+                        lambda: observed.append(medium.lock_end_of(radios["rx"])))
+        sim.run()
+        assert observed[0] == pytest.approx(10.0 + (1 + 4 + 30 + 3) * 8.0)
+
+
+class TestHalfDuplex:
+    def test_transmitting_receiver_cannot_lock(self):
+        sim, medium, radios = build_world()
+        got = []
+        radios["rx"].on_frame = lambda f, rssi: got.append(f)
+        radios["rx"].listen(7)
+        # rx transmits its own long frame, overlapping tx's frame.
+        sim.schedule_at(5.0,
+                        lambda: radios["rx"].transmit(0x33333333, bytes(40), 0, 7))
+        sim.schedule_at(10.0,
+                        lambda: radios["tx"].transmit(0x11111111, b"x", 0, 7))
+        sim.run()
+        assert got == []
+
+
+class TestTap:
+    def test_tap_sees_every_frame(self):
+        sim, medium, radios = build_world()
+        seen = []
+        medium.add_tap(lambda frame: seen.append(frame.access_address))
+        sim.schedule_at(1.0, lambda: radios["tx"].transmit(0xAAAA0001, b"a", 0, 3))
+        sim.schedule_at(500.0,
+                        lambda: radios["other"].transmit(0xAAAA0002, b"b", 0, 9))
+        sim.run()
+        assert seen == [0xAAAA0001, 0xAAAA0002]

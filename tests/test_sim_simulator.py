@@ -1,0 +1,119 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.simulator import Simulator
+
+
+class TestScheduling:
+    def test_clock_advances_to_events(self):
+        sim = Simulator(seed=0)
+        times = []
+        sim.schedule_at(50.0, lambda: times.append(sim.now))
+        sim.schedule_at(150.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [50.0, 150.0]
+
+    def test_schedule_in_relative(self):
+        sim = Simulator(seed=0)
+        order = []
+        sim.schedule_in(10.0, lambda: order.append("a"))
+        sim.schedule_in(5.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["b", "a"]
+
+    def test_nested_scheduling(self):
+        sim = Simulator(seed=0)
+        fired = []
+
+        def outer():
+            fired.append(("outer", sim.now))
+            sim.schedule_in(25.0, lambda: fired.append(("inner", sim.now)))
+
+        sim.schedule_at(100.0, outer)
+        sim.run()
+        assert fired == [("outer", 100.0), ("inner", 125.0)]
+
+    def test_cannot_schedule_in_the_past(self):
+        sim = Simulator(seed=0)
+        sim.schedule_at(100.0, lambda: None)
+        sim.run()
+        with pytest.raises(SchedulingError):
+            sim.schedule_at(50.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SchedulingError):
+            Simulator(seed=0).schedule_in(-1.0, lambda: None)
+
+
+class TestRun:
+    def test_until_stops_the_clock(self):
+        sim = Simulator(seed=0)
+        fired = []
+        sim.schedule_at(100.0, lambda: fired.append(1))
+        sim.schedule_at(300.0, lambda: fired.append(2))
+        n = sim.run(until_us=200.0)
+        assert n == 1 and fired == [1]
+        assert sim.now == 200.0
+
+    def test_run_can_resume(self):
+        sim = Simulator(seed=0)
+        fired = []
+        sim.schedule_at(100.0, lambda: fired.append(1))
+        sim.schedule_at(300.0, lambda: fired.append(2))
+        sim.run(until_us=200.0)
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_returns_event_count(self):
+        sim = Simulator(seed=0)
+        for i in range(7):
+            sim.schedule_at(float(i), lambda: None)
+        assert sim.run() == 7
+
+    def test_stop_request(self):
+        sim = Simulator(seed=0)
+        fired = []
+        sim.schedule_at(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule_at(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+
+    def test_runaway_protection(self):
+        sim = Simulator(seed=0)
+
+        def reschedule():
+            sim.schedule_in(1.0, reschedule)
+
+        sim.schedule_at(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=1000)
+
+    def test_not_reentrant(self):
+        sim = Simulator(seed=0)
+
+        def recurse():
+            sim.run()
+
+        sim.schedule_at(1.0, recurse)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_pending_events(self):
+        sim = Simulator(seed=0)
+        sim.schedule_at(5.0, lambda: None)
+        assert sim.pending_events() == 1
+
+
+class TestDeterminism:
+    def test_streams_reproducible(self):
+        a = Simulator(seed=42).streams.get("x").integers(0, 1000, 5)
+        b = Simulator(seed=42).streams.get("x").integers(0, 1000, 5)
+        assert list(a) == list(b)
+
+    def test_trace_records(self):
+        sim = Simulator(seed=0)
+        sim.schedule_at(10.0, lambda: sim.trace.record(sim.now, "t", "tick"))
+        sim.run()
+        assert len(sim.trace.filter(kind="tick")) == 1

@@ -1,0 +1,90 @@
+"""Unit tests for the transceiver state machine."""
+
+import pytest
+
+from repro.errors import MediumError
+from repro.sim.medium import Medium
+from repro.sim.simulator import Simulator
+from repro.sim.topology import Topology
+from repro.sim.transceiver import Transceiver, TransceiverState
+
+
+@pytest.fixture
+def world():
+    sim = Simulator(seed=2)
+    topo = Topology()
+    topo.place("a", 0, 0)
+    topo.place("b", 1, 0)
+    medium = Medium(sim, topo)
+    return sim, medium, Transceiver(sim, medium, "a"), Transceiver(sim, medium, "b")
+
+
+class TestStates:
+    def test_starts_idle(self, world):
+        _, _, a, _ = world
+        assert a.state is TransceiverState.IDLE
+
+    def test_listen_enters_rx(self, world):
+        _, _, a, _ = world
+        a.listen(5)
+        assert a.state is TransceiverState.RX
+        assert a.is_listening_on(5, since_us=None)
+
+    def test_stop_listening_returns_to_idle(self, world):
+        _, _, a, _ = world
+        a.listen(5)
+        a.stop_listening()
+        assert a.state is TransceiverState.IDLE
+
+    def test_transmit_enters_tx(self, world):
+        sim, _, a, _ = world
+        a.transmit(1 << 20, bytes(10), 0, 5)
+        assert a.state is TransceiverState.TX
+        assert a.is_transmitting(sim.now)
+
+    def test_tx_clears_after_frame(self, world):
+        sim, _, a, _ = world
+        frame = a.transmit(1 << 20, bytes(10), 0, 5)
+        sim.run(until_us=frame.end_us + 1.0)
+        assert not a.is_transmitting(sim.now)
+
+    def test_cannot_double_transmit(self, world):
+        _, _, a, _ = world
+        a.transmit(1 << 20, bytes(30), 0, 5)
+        with pytest.raises(MediumError):
+            a.transmit(1 << 20, b"x", 0, 5)
+
+    def test_invalid_channel_rejected(self, world):
+        _, _, a, _ = world
+        with pytest.raises(MediumError):
+            a.listen(41)
+
+
+class TestListeningWindow:
+    def test_since_us_semantics(self, world):
+        sim, _, a, _ = world
+        sim.schedule_at(100.0, lambda: a.listen(5))
+        sim.run()
+        assert a.is_listening_on(5, since_us=150.0)
+        assert not a.is_listening_on(5, since_us=50.0)
+
+    def test_retune_updates_since(self, world):
+        sim, _, a, _ = world
+        a.listen(5)
+        sim.schedule_at(100.0, lambda: a.listen(6))
+        sim.run()
+        assert not a.is_listening_on(6, since_us=50.0)
+
+
+class TestCallbacks:
+    def test_tx_complete_callback(self, world):
+        sim, _, a, _ = world
+        done = []
+        a.on_tx_complete = done.append
+        frame = a.transmit(1 << 20, b"zz", 0, 5)
+        sim.run()
+        assert done and done[0].frame_id == frame.frame_id
+
+    def test_tx_duration_helper(self, world):
+        _, _, a, _ = world
+        assert a.tx_duration_us(14) == pytest.approx(176.0)

@@ -1,0 +1,80 @@
+"""Unit tests for repro.utils.bits."""
+
+import pytest
+
+from repro.errors import CodecError
+from repro.utils.bits import (
+    bit_reverse_byte,
+    bit_reverse_bytes,
+    bytes_to_int_le,
+    extract_bits,
+    insert_bits,
+    int_to_bytes_le,
+)
+
+
+class TestIntBytesLe:
+    def test_round_trip(self):
+        assert bytes_to_int_le(int_to_bytes_le(0x123456, 3)) == 0x123456
+
+    def test_little_endian_order(self):
+        assert int_to_bytes_le(0x0102, 2) == b"\x02\x01"
+
+    def test_zero(self):
+        assert int_to_bytes_le(0, 4) == b"\x00\x00\x00\x00"
+
+    def test_max_value_fits(self):
+        assert int_to_bytes_le(0xFFFFFF, 3) == b"\xff\xff\xff"
+
+    def test_overflow_rejected(self):
+        with pytest.raises(CodecError):
+            int_to_bytes_le(1 << 24, 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(CodecError):
+            int_to_bytes_le(-1, 2)
+
+    def test_empty_bytes_decode_to_zero(self):
+        assert bytes_to_int_le(b"") == 0
+
+
+class TestBitReverse:
+    def test_known_byte(self):
+        assert bit_reverse_byte(0b10000000) == 0b00000001
+
+    def test_palindrome_byte(self):
+        assert bit_reverse_byte(0b10000001) == 0b10000001
+
+    def test_involution(self):
+        for value in range(256):
+            assert bit_reverse_byte(bit_reverse_byte(value)) == value
+
+    def test_bytes_keeps_byte_order(self):
+        assert bit_reverse_bytes(b"\x80\x01") == b"\x01\x80"
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(CodecError):
+            bit_reverse_byte(256)
+
+
+class TestBitFields:
+    def test_extract_low_bits(self):
+        assert extract_bits(0b1011, 0, 2) == 0b11
+
+    def test_extract_high_bits(self):
+        assert extract_bits(0b1011, 2, 2) == 0b10
+
+    def test_insert_replaces_field(self):
+        assert insert_bits(0b1111, 1, 2, 0b00) == 0b1001
+
+    def test_insert_round_trip(self):
+        value = insert_bits(0, 3, 5, 0b10101)
+        assert extract_bits(value, 3, 5) == 0b10101
+
+    def test_insert_overflow_rejected(self):
+        with pytest.raises(CodecError):
+            insert_bits(0, 0, 2, 4)
+
+    def test_extract_invalid_slice_rejected(self):
+        with pytest.raises(CodecError):
+            extract_bits(0, -1, 2)

@@ -1,0 +1,49 @@
+"""Unit tests for repro.utils.rand."""
+
+import pytest
+
+from repro.utils.rand import RngStreams
+
+
+class TestRngStreams:
+    def test_same_seed_same_stream(self):
+        a = RngStreams(7).get("x").integers(0, 1 << 30, 10)
+        b = RngStreams(7).get("x").integers(0, 1 << 30, 10)
+        assert list(a) == list(b)
+
+    def test_different_names_differ(self):
+        streams = RngStreams(7)
+        a = streams.get("x").integers(0, 1 << 30, 10)
+        b = streams.get("y").integers(0, 1 << 30, 10)
+        assert list(a) != list(b)
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(7).get("x").integers(0, 1 << 30, 10)
+        b = RngStreams(8).get("x").integers(0, 1 << 30, 10)
+        assert list(a) != list(b)
+
+    def test_creation_order_does_not_matter(self):
+        s1 = RngStreams(3)
+        s1.get("a")
+        first = list(s1.get("b").integers(0, 100, 5))
+        s2 = RngStreams(3)
+        second = list(s2.get("b").integers(0, 100, 5))
+        assert first == second
+
+    def test_get_returns_same_object(self):
+        streams = RngStreams(1)
+        assert streams.get("x") is streams.get("x")
+
+    def test_child_streams_are_deterministic(self):
+        a = RngStreams(5).child("dev").get("clock").integers(0, 100, 4)
+        b = RngStreams(5).child("dev").get("clock").integers(0, 100, 4)
+        assert list(a) == list(b)
+
+    def test_child_differs_from_parent(self):
+        parent = RngStreams(5)
+        child = parent.child("dev")
+        assert child.seed != parent.seed
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            RngStreams(-1)

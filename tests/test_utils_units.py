@@ -1,0 +1,48 @@
+"""Unit tests for repro.utils.units."""
+
+import pytest
+
+from repro.utils.units import (
+    SLOT_US,
+    T_IFS_US,
+    ms_to_us,
+    ppm_drift_us,
+    s_to_us,
+)
+
+
+class TestConstants:
+    def test_slot_is_1250us(self):
+        assert SLOT_US == 1250.0
+
+    def test_tifs_is_150us(self):
+        assert T_IFS_US == 150.0
+
+
+class TestConversions:
+    def test_ms_to_us(self):
+        assert ms_to_us(1.25) == 1250.0
+
+    def test_s_to_us(self):
+        assert s_to_us(2.0) == 2_000_000.0
+
+
+class TestPpmDrift:
+    def test_paper_example(self):
+        # 70 ppm over a 93.75 ms interval (hop 75) ≈ 6.56 µs.
+        drift = ppm_drift_us(70.0, 75 * SLOT_US)
+        assert drift == pytest.approx(6.5625)
+
+    def test_zero_sca_means_zero_drift(self):
+        assert ppm_drift_us(0.0, 1_000_000.0) == 0.0
+
+    def test_scales_linearly_with_interval(self):
+        assert ppm_drift_us(50, 2000.0) == 2 * ppm_drift_us(50, 1000.0)
+
+    def test_negative_sca_rejected(self):
+        with pytest.raises(ValueError):
+            ppm_drift_us(-1.0, 100.0)
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            ppm_drift_us(10.0, -5.0)
