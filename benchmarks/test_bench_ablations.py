@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import N_CONNECTIONS, publish
+from benchmarks.conftest import N_CONNECTIONS, N_JOBS, publish
 from repro.analysis.reporting import render_series
 from repro.experiments.ablations import (
     WIDENING_SCALES,
@@ -21,10 +21,11 @@ from repro.experiments.common import success_rate
 
 
 @pytest.mark.benchmark(group="ablations")
-def test_abl1_widening_reduction(benchmark, results_dir):
+def test_abl1_widening_reduction(benchmark, results_dir, trial_cache):
     n = max(6, N_CONNECTIONS // 2)
     results = benchmark.pedantic(
-        lambda: run_widening_ablation(base_seed=5, n_connections=n),
+        lambda: run_widening_ablation(base_seed=5, n_connections=n,
+                                      jobs=N_JOBS, cache=trial_cache),
         rounds=1, iterations=1,
     )
     rows = [(f"widening x{scale}",
@@ -41,10 +42,11 @@ def test_abl1_widening_reduction(benchmark, results_dir):
 
 
 @pytest.mark.benchmark(group="ablations")
-def test_abl2_encryption(benchmark, results_dir):
+def test_abl2_encryption(benchmark, results_dir, trial_cache):
     n = max(6, N_CONNECTIONS // 2)
     results = benchmark.pedantic(
-        lambda: run_encryption_ablation(base_seed=6, n_connections=n),
+        lambda: run_encryption_ablation(base_seed=6, n_connections=n,
+                                        jobs=N_JOBS, cache=trial_cache),
         rounds=1, iterations=1,
     )
     injected = sum(r.injection_succeeded for r in results)
@@ -64,7 +66,7 @@ def test_abl2_encryption(benchmark, results_dir):
 @pytest.mark.benchmark(group="ablations")
 def test_abl3_ids_detection(benchmark, results_dir):
     results = benchmark.pedantic(
-        lambda: run_ids_ablation(base_seed=7, n_runs=5),
+        lambda: run_ids_ablation(base_seed=7, n_runs=5, jobs=N_JOBS),
         rounds=1, iterations=1,
     )
     by_attack = {"injectable": [], "btlejack": []}

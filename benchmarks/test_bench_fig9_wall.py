@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import N_CONNECTIONS, publish
+from benchmarks.conftest import N_CONNECTIONS, N_JOBS, publish
 from repro.analysis.reporting import render_distribution_table
 from repro.analysis.stats import box_stats
 from repro.experiments.common import attempts_of, success_rate
@@ -24,10 +24,11 @@ from repro.experiments.wall import WALL_DISTANCES, run_experiment_wall
 
 
 @pytest.mark.benchmark(group="fig9")
-def test_fig9_wall(benchmark, results_dir):
+def test_fig9_wall(benchmark, results_dir, trial_cache):
     results = benchmark.pedantic(
         lambda: run_experiment_wall(base_seed=4,
-                                    n_connections=N_CONNECTIONS),
+                                    n_connections=N_CONNECTIONS,
+                                    jobs=N_JOBS, cache=trial_cache),
         rounds=1, iterations=1,
     )
     samples = {f"{d:.0f} m (wall)": attempts_of(results[d])
@@ -45,7 +46,7 @@ def test_fig9_wall(benchmark, results_dir):
     # across the whole sweep, and at the far positions, the cost is clear.
     free = run_experiment_distance(
         base_seed=4, n_connections=min(N_CONNECTIONS, 10),
-        positions={"B (2 m)": 2.0})
+        positions={"B (2 m)": 2.0}, jobs=N_JOBS, cache=trial_cache)
     free_mean = box_stats(attempts_of(free["B (2 m)"])).mean
     walled_near_mean = box_stats(attempts_of(results[2.0])).mean
     assert walled_near_mean >= free_mean - 1.0

@@ -1,0 +1,114 @@
+"""PERF-1 — trial-runner throughput and simulator hot-path trajectory.
+
+Times a fixed, fully deterministic trial workload twice — serially and
+through the process-pool runner — plus a tight event-queue microbenchmark,
+and appends the measurements to ``BENCH_runner.json`` at the repo root so
+future PRs can track throughput regressions.
+
+Asserted:
+  * the parallel run returns **bit-identical** results to the serial run
+    (field-for-field ``TrialResult`` equality);
+  * on a machine with >= 4 cores, 4 workers deliver >= 3x wall-clock
+    speedup on the workload (on smaller boxes the speedup is recorded but
+    not asserted — a 1-core CI container cannot parallelise anything).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import InjectionTrial
+from repro.runner import execute_trials
+from repro.sim.events import EventQueue
+
+#: Trajectory artefact, kept at the repo root across PRs.
+BENCH_FILE = Path(__file__).parent.parent / "BENCH_runner.json"
+
+#: The fixed workload: 8 independent worlds at the paper's E2 hop interval.
+PERF_SEEDS = tuple(9_000 + i for i in range(8))
+
+#: Workers used for the parallel measurement (the acceptance target).
+PERF_JOBS = 4
+
+
+def _workload() -> list[InjectionTrial]:
+    return [InjectionTrial(seed=seed, hop_interval=75) for seed in PERF_SEEDS]
+
+
+def _bench_event_queue(n_events: int = 100_000) -> float:
+    """Push/pop throughput of the event heap, in events per second."""
+    queue = EventQueue()
+    handler = lambda: None  # noqa: E731 - trivial callback
+    start = time.perf_counter()
+    for i in range(n_events):
+        queue.push(float(i % 977), handler)
+    while queue.pop() is not None:
+        pass
+    elapsed = time.perf_counter() - start
+    return n_events / elapsed
+
+
+def _append_trajectory(record: dict) -> None:
+    try:
+        data = json.loads(BENCH_FILE.read_text())
+        assert isinstance(data.get("runs"), list)
+    except (OSError, ValueError, AssertionError):
+        data = {"schema": 1, "benchmark": "trial-runner", "runs": []}
+    data["runs"].append(record)
+    BENCH_FILE.write_text(json.dumps(data, indent=2) + "\n")
+
+
+@pytest.mark.benchmark(group="perf")
+def test_runner_throughput(benchmark, results_dir):
+    trials = _workload()
+
+    start = time.perf_counter()
+    serial = execute_trials(trials, jobs=1, cache=None)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = execute_trials(trials, jobs=PERF_JOBS, cache=None)
+    parallel_s = time.perf_counter() - start
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    assert all(r.success for r in serial)
+    # The contract the whole runner rests on: job count never changes
+    # results, field for field (reports, records, verdicts included).
+    assert parallel == serial
+
+    events_per_sec = _bench_event_queue()
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    cpus = os.cpu_count() or 1
+    record = {
+        "utc": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "cpu_count": cpus,
+        "n_trials": len(trials),
+        "jobs": PERF_JOBS,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(speedup, 3),
+        "trials_per_sec_serial": round(len(trials) / serial_s, 3),
+        "trials_per_sec_parallel": round(len(trials) / parallel_s, 3),
+        "queue_events_per_sec": round(events_per_sec),
+    }
+    _append_trajectory(record)
+
+    summary = "\n".join(
+        ["PERF-1 — trial runner throughput"]
+        + [f"  {key:>24}: {value}" for key, value in record.items()]
+    )
+    print("\n" + summary)
+    (results_dir / "perf_runner.txt").write_text(summary + "\n")
+
+    if cpus >= PERF_JOBS:
+        assert speedup >= 3.0, (
+            f"expected >=3x speedup at {PERF_JOBS} workers on {cpus} cores, "
+            f"got {speedup:.2f}x"
+        )

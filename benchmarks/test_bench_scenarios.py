@@ -11,24 +11,17 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import publish
+from benchmarks.conftest import N_JOBS, publish
 from repro.analysis.reporting import render_series
-from repro.experiments.scenarios import DEVICES, SCENARIOS
+from repro.experiments.scenarios import run_scenario_suite
 
 
 @pytest.mark.benchmark(group="scenarios")
 def test_scenarios_all_devices(benchmark, results_dir):
     def run_all():
-        rows = []
-        seed = 1000
-        for scenario_name, runner in SCENARIOS.items():
-            for device_name, device_cls in DEVICES.items():
-                seed += 13
-                ok, attempts = runner(device_cls, seed)
-                rows.append((f"{scenario_name} vs {device_name}",
-                             "OK" if ok else "FAILED",
-                             f"{attempts} attempt(s)"))
-        return rows
+        return [(label, "OK" if ok else "FAILED", f"{attempts} attempt(s)")
+                for label, ok, attempts
+                in run_scenario_suite(base_seed=1000, jobs=N_JOBS)]
 
     rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
     table = render_series(

@@ -36,7 +36,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         "wall": (run_experiment_wall, "distance behind wall (m)"),
     }
     runner, column = runners[args.which]
-    results = runner(base_seed=args.seed, n_connections=args.connections)
+    results = runner(base_seed=args.seed, n_connections=args.connections,
+                     jobs=args.jobs, cache=args.cache)
     samples = {key: attempts_of(trials) for key, trials in results.items()}
     print(render_distribution_table(
         f"InjectaBLE sensitivity — {args.which} "
@@ -135,6 +136,21 @@ def _cmd_crack(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.runner import ResultCache
+
+    cache = ResultCache()
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached trial result(s) from {cache.root}")
+    else:
+        print(render_series("Trial-result cache", [
+            ("location", str(cache.root)),
+            ("entries", str(len(cache))),
+        ]))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -150,6 +166,12 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=("hop", "payload", "distance", "wall"))
     experiment.add_argument("--connections", type=int, default=10)
     experiment.add_argument("--seed", type=int, default=1)
+    experiment.add_argument("--jobs", type=int, default=None,
+                            help="worker processes (default: $REPRO_JOBS or "
+                                 "1; 0 = all cores)")
+    experiment.add_argument("--cache", action="store_true",
+                            help="reuse/store trial results in the on-disk "
+                                 "cache")
     experiment.set_defaults(func=_cmd_experiment)
 
     scenario = sub.add_parser("scenario", help="run one attack scenario")
@@ -174,6 +196,11 @@ def build_parser() -> argparse.ArgumentParser:
     crack.add_argument("--max-pin", type=int, default=0,
                        help="brute-force bound (0 = Just Works only)")
     crack.set_defaults(func=_cmd_crack)
+
+    cache = sub.add_parser("cache",
+                           help="manage the on-disk trial-result cache")
+    cache.add_argument("action", choices=("info", "clear"))
+    cache.set_defaults(func=_cmd_cache)
     return parser
 
 

@@ -14,7 +14,7 @@ paper proposes qualitatively:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Optional
 
 from repro.core.attacker import Attacker
 from repro.core.injection import InjectionConfig, InjectionReport
@@ -24,7 +24,6 @@ from repro.experiments.common import (
     InjectionTrial,
     TrialResult,
     build_injection_payload,
-    run_single_trial,
     run_trials,
 )
 from repro.host.stack import CentralHost
@@ -42,6 +41,8 @@ def run_widening_ablation(
     base_seed: int = 5,
     n_connections: int = 15,
     scales: tuple[float, ...] = WIDENING_SCALES,
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> Mapping[float, list[TrialResult]]:
     """ABL-1: sweep the Slave's widening reduction."""
     results = {}
@@ -52,6 +53,7 @@ def run_widening_ablation(
             lambda seed, s=scale: InjectionTrial(
                 seed=seed, hop_interval=75, pdu_len=14, widening_scale=s,
             ),
+            jobs=jobs, cache=cache,
         )
     return results
 
@@ -71,19 +73,24 @@ class EncryptionAblationResult:
     dos_observed: bool
 
 
-def run_encryption_ablation(base_seed: int = 6, n_connections: int = 15
+def run_encryption_ablation(base_seed: int = 6, n_connections: int = 15,
+                            jobs: Optional[int] = None, cache=None,
                             ) -> list[EncryptionAblationResult]:
     """ABL-2: inject into encrypted connections."""
-    results = []
-    for i in range(n_connections):
-        trial = InjectionTrial(seed=base_seed * 10_000 + i, hop_interval=75,
-                               pdu_len=14, encrypted=True)
-        outcome = run_single_trial(trial)
-        results.append(EncryptionAblationResult(
+    from repro.runner import execute_trials
+
+    trials = [
+        InjectionTrial(seed=base_seed * 10_000 + i, hop_interval=75,
+                       pdu_len=14, encrypted=True)
+        for i in range(n_connections)
+    ]
+    return [
+        EncryptionAblationResult(
             injection_succeeded=outcome.effect_observed,
             dos_observed=not outcome.connection_survived,
-        ))
-    return results
+        )
+        for outcome in execute_trials(trials, jobs=jobs, cache=cache)
+    ]
 
 
 @dataclass
@@ -161,11 +168,21 @@ def _run_ids_btlejack(seed: int) -> IdsAblationResult:
                              hijack.jam_frames)
 
 
-def run_ids_ablation(base_seed: int = 7, n_runs: int = 8
-                     ) -> list[IdsAblationResult]:
+def _run_ids_task(task: tuple[str, int]) -> IdsAblationResult:
+    """Picklable dispatch for one IDS-ablation world."""
+    attack, seed = task
+    if attack == "injectable":
+        return _run_ids_injectable(seed)
+    return _run_ids_btlejack(seed)
+
+
+def run_ids_ablation(base_seed: int = 7, n_runs: int = 8,
+                     jobs: Optional[int] = None) -> list[IdsAblationResult]:
     """ABL-3: IDS detection of InjectaBLE vs BTLEJack."""
-    results = []
+    from repro.runner import parallel_map
+
+    tasks: list[tuple[str, int]] = []
     for i in range(n_runs):
-        results.append(_run_ids_injectable(base_seed * 10_000 + i))
-        results.append(_run_ids_btlejack(base_seed * 20_000 + i))
-    return results
+        tasks.append(("injectable", base_seed * 10_000 + i))
+        tasks.append(("btlejack", base_seed * 20_000 + i))
+    return parallel_map(_run_ids_task, tasks, jobs=jobs)

@@ -202,13 +202,28 @@ def run_trials(
     base_seed: int,
     n_connections: int,
     make_trial: Callable[[int], InjectionTrial],
+    *,
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> list[TrialResult]:
-    """Run ``n_connections`` independent trials with derived seeds."""
-    results = []
-    for i in range(n_connections):
-        trial = make_trial(base_seed * 10_000 + i)
-        results.append(run_single_trial(trial))
-    return results
+    """Run ``n_connections`` independent trials with derived seeds.
+
+    Args:
+        base_seed: per-configuration seed; trial ``i`` gets seed
+            ``base_seed * 10_000 + i``.
+        n_connections: trials to run (the paper uses 25).
+        make_trial: seed → :class:`InjectionTrial` for this configuration.
+        jobs: worker processes (``None`` → ``$REPRO_JOBS`` → serial;
+            ``<= 0`` → all cores).  Results are identical regardless of
+            ``jobs`` — trials are independent and internally seeded.
+        cache: ``True`` for the default on-disk
+            :class:`~repro.runner.cache.ResultCache`, an instance to use it,
+            ``None``/``False`` to recompute.
+    """
+    from repro.runner import execute_trials
+
+    trials = [make_trial(base_seed * 10_000 + i) for i in range(n_connections)]
+    return execute_trials(trials, jobs=jobs, cache=cache)
 
 
 def attempts_of(results: list[TrialResult]) -> list[int]:

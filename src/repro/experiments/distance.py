@@ -10,7 +10,7 @@ with distance.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Optional
 
 from repro.experiments.common import (
     CONNECTIONS_PER_CONFIG,
@@ -40,6 +40,8 @@ def run_experiment_distance(
     base_seed: int = 3,
     n_connections: int = CONNECTIONS_PER_CONFIG,
     positions: Mapping[str, float] = None,
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> Mapping[str, list[TrialResult]]:
     """Run the distance sweep; returns results per position label."""
     if positions is None:
@@ -53,5 +55,6 @@ def run_experiment_distance(
                 seed=seed, hop_interval=EXPERIMENT_HOP_INTERVAL,
                 pdu_len=EXPERIMENT_PDU_LEN, attacker_distance_m=d,
             ),
+            jobs=jobs, cache=cache,
         )
     return results

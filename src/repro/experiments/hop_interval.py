@@ -9,7 +9,7 @@ variance decreases sharply between 25 and 100 then stabilises.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Optional
 
 from repro.experiments.common import (
     CONNECTIONS_PER_CONFIG,
@@ -29,6 +29,8 @@ def run_experiment_hop_interval(
     base_seed: int = 1,
     n_connections: int = CONNECTIONS_PER_CONFIG,
     hop_intervals: tuple[int, ...] = HOP_INTERVALS,
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> Mapping[int, list[TrialResult]]:
     """Run the hop-interval sweep; returns results per interval."""
     results = {}
@@ -40,5 +42,6 @@ def run_experiment_hop_interval(
                 seed=seed, hop_interval=h, pdu_len=EXPERIMENT_PDU_LEN,
                 attacker_distance_m=2.0,
             ),
+            jobs=jobs, cache=cache,
         )
     return results

@@ -10,7 +10,7 @@ spread decrease) as the payload shrinks; medians stay at or below ~3.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Optional
 
 from repro.experiments.common import (
     CONNECTIONS_PER_CONFIG,
@@ -30,6 +30,8 @@ def run_experiment_payload_size(
     base_seed: int = 2,
     n_connections: int = CONNECTIONS_PER_CONFIG,
     payload_sizes: tuple[int, ...] = PAYLOAD_SIZES,
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> Mapping[int, list[TrialResult]]:
     """Run the payload-size sweep; returns results per PDU length."""
     results = {}
@@ -41,5 +43,6 @@ def run_experiment_payload_size(
                 seed=seed, hop_interval=EXPERIMENT_HOP_INTERVAL, pdu_len=s,
                 attacker_distance_m=2.0,
             ),
+            jobs=jobs, cache=cache,
         )
     return results

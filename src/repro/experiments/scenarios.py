@@ -9,7 +9,7 @@ traffic.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.core.attacker import Attacker
 from repro.core.scenarios import (
@@ -157,3 +157,31 @@ SCENARIOS: dict[str, Callable] = {
     "C (master hijack)": run_scenario_c,
     "D (MitM)": run_scenario_d,
 }
+
+
+def _run_scenario_case(case: tuple[str, str, int]) -> tuple[str, bool, int]:
+    """Picklable worker: one (scenario, device, seed) world."""
+    scenario_name, device_name, seed = case
+    ok, attempts = SCENARIOS[scenario_name](DEVICES[device_name], seed)
+    return f"{scenario_name} vs {device_name}", ok, attempts
+
+
+def run_scenario_suite(
+    base_seed: int = 1000,
+    jobs: Optional[int] = None,
+) -> list[tuple[str, bool, int]]:
+    """Every scenario × every device, each in its own fresh world.
+
+    Seeds follow the historical serial enumeration (``base_seed + 13`` per
+    case, scenario-major), so results match the pre-parallel benchmark
+    byte for byte regardless of ``jobs``.
+    """
+    from repro.runner import parallel_map
+
+    cases: list[tuple[str, str, int]] = []
+    seed = base_seed
+    for scenario_name in SCENARIOS:
+        for device_name in DEVICES:
+            seed += 13
+            cases.append((scenario_name, device_name, seed))
+    return parallel_map(_run_scenario_case, cases, jobs=jobs)

@@ -8,7 +8,7 @@ a successful injection.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Optional
 
 from repro.experiments.common import (
     CONNECTIONS_PER_CONFIG,
@@ -32,6 +32,8 @@ def run_experiment_wall(
     n_connections: int = CONNECTIONS_PER_CONFIG,
     distances: tuple[float, ...] = WALL_DISTANCES,
     wall_attenuation_db: float = WALL_ATTENUATION_DB,
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> Mapping[float, list[TrialResult]]:
     """Run the behind-a-wall sweep; returns results per distance."""
     results = {}
@@ -44,5 +46,6 @@ def run_experiment_wall(
                 pdu_len=EXPERIMENT_PDU_LEN, attacker_distance_m=d,
                 wall_attenuation_db=wall_attenuation_db,
             ),
+            jobs=jobs, cache=cache,
         )
     return results

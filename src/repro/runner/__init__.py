@@ -1,0 +1,42 @@
+"""Parallel trial execution and result caching.
+
+The experiment harness (``repro.experiments``) builds every paper artefact
+out of independent, seed-deterministic simulation units.  This package
+executes those units:
+
+* :func:`execute_trials` — process-pool execution of ``InjectionTrial``
+  batches with deterministic ordering and an optional on-disk result cache;
+* :func:`parallel_map` — the underlying order-preserving pool map, also
+  used for scenario suites and IDS ablation runs;
+* :class:`ResultCache` — trial-keyed, code-version-aware pickle store.
+
+Parallelism is opt-in everywhere: ``jobs=None`` honours ``$REPRO_JOBS``
+and defaults to single-process execution with results identical to the
+parallel path.
+"""
+
+from repro.runner.cache import (
+    CACHE_DIR_ENV,
+    ResultCache,
+    code_version_token,
+    default_cache_dir,
+    stable_trial_key,
+)
+from repro.runner.executor import (
+    JOBS_ENV,
+    execute_trials,
+    parallel_map,
+    resolve_jobs,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "JOBS_ENV",
+    "ResultCache",
+    "code_version_token",
+    "default_cache_dir",
+    "execute_trials",
+    "parallel_map",
+    "resolve_jobs",
+    "stable_trial_key",
+]

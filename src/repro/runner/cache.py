@@ -1,0 +1,171 @@
+"""On-disk cache of trial results.
+
+Re-running an unchanged benchmark panel should be near-instant: every
+completed :class:`~repro.experiments.common.InjectionTrial` is persisted
+under a key derived from
+
+* a **stable hash of the trial dataclass** — every field, in declaration
+  order, rendered via ``repr`` (seeds, geometry, SCA, flags: any edit to
+  any field produces a different key), and
+* a **code-version token** — a hash over the source text of the whole
+  ``repro`` package, so results computed by older code are never replayed
+  after the simulator changes.
+
+Entries are pickle files sharded two levels deep under the cache root
+(``$REPRO_CACHE_DIR`` or ``~/.cache/repro-injectable/trials``).  A corrupt
+or unreadable entry is treated as a miss and removed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from dataclasses import fields, is_dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Optional
+
+#: Environment variable overriding the cache root directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Bump to invalidate every cached result regardless of code hashing.
+CACHE_SCHEMA_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-injectable``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro-injectable" / "trials"
+
+
+@lru_cache(maxsize=1)
+def code_version_token() -> str:
+    """Hash of every ``.py`` file of the ``repro`` package.
+
+    Any source edit — simulator, link layer, devices, experiments — yields
+    a new token, so stale results can never be replayed.  Computed once per
+    process (reading ~200 small files takes milliseconds).
+    """
+    import repro
+
+    package_root = Path(repro.__file__).parent
+    digest = hashlib.sha256(f"schema:{CACHE_SCHEMA_VERSION}".encode())
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+def stable_trial_key(trial: Any, token: Optional[str] = None) -> str:
+    """Deterministic cache key for a trial dataclass.
+
+    Fields are serialised in declaration order as ``name=repr(value)``;
+    ``repr`` of ints/floats/bools/strings is stable across processes and
+    runs (no ``PYTHONHASHSEED`` dependence).
+    """
+    if not is_dataclass(trial):
+        raise TypeError(f"expected a dataclass trial, got {type(trial)!r}")
+    if token is None:
+        token = code_version_token()
+    parts = [f"{type(trial).__qualname__}", f"code={token}"]
+    for spec in fields(trial):
+        parts.append(f"{spec.name}={getattr(trial, spec.name)!r}")
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
+
+class ResultCache:
+    """Pickle-backed trial-result store.
+
+    Args:
+        root: cache directory; defaults to :func:`default_cache_dir`.
+        token: code-version token override (tests use a fixed token to
+            exercise hit/miss behaviour without hashing the source tree).
+
+    Attributes:
+        hits / misses / stores: per-instance counters, for tests and for
+            the benchmark summary lines.
+    """
+
+    def __init__(self, root: Optional[Path] = None,
+                 token: Optional[str] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self._token = token
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    @property
+    def token(self) -> str:
+        """The code-version token in force for this cache instance."""
+        if self._token is None:
+            self._token = code_version_token()
+        return self._token
+
+    def key_for(self, trial: Any) -> str:
+        """Cache key of ``trial`` under the current code version."""
+        return stable_trial_key(trial, self.token)
+
+    def _path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, trial: Any) -> Optional[Any]:
+        """Cached result for ``trial``, or ``None`` on a miss."""
+        path = self._path_for(self.key_for(trial))
+        try:
+            with open(path, "rb") as handle:
+                result = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except OSError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Corrupt or written by an incompatible version: drop it.
+            # pickle surfaces garbage as UnpicklingError, EOFError,
+            # ValueError, KeyError, Attribute/Import/IndexError, ...
+            # depending on which byte it chokes on, so catch broadly.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, trial: Any, result: Any) -> None:
+        """Persist ``result`` for ``trial`` (atomic rename)."""
+        path = self._path_for(self.key_for(trial))
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            with open(tmp, "wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            return  # caching is best-effort; never fail the experiment
+        self.stores += 1
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return 0
+        for path in self.root.rglob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.rglob("*.pkl"))

@@ -1,0 +1,170 @@
+"""Process-pool execution of independent simulation workloads.
+
+Every paper artefact is rebuilt from *embarrassingly parallel* units —
+seed-deterministic trials (or whole scenario worlds) that share no state.
+This module fans them out over a ``ProcessPoolExecutor``:
+
+* **chunked submission** — items are grouped into contiguous chunks so the
+  per-task IPC overhead is amortised over several multi-hundred-millisecond
+  simulations;
+* **deterministic ordering** — results are reassembled by item index, so
+  ``jobs=N`` returns exactly the list serial execution returns;
+* **graceful fallback** — ``jobs=1``, a single item, or any environment
+  where worker processes cannot be created (sandboxes without ``fork``/
+  semaphores, broken pools mid-run) falls back to in-process execution of
+  whatever is still missing.
+
+``execute_trials`` layers the on-disk :class:`~repro.runner.cache.ResultCache`
+on top: cached trials never reach the pool, and fresh results are persisted
+before returning.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Optional, Sequence, Union
+
+#: Environment variable giving the default worker count for the runner.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Normalise a ``jobs`` request to a positive worker count.
+
+    ``None`` reads ``$REPRO_JOBS`` (default 1 — parallelism is opt-in so
+    library users keep single-process semantics).  ``0`` or negative means
+    "all cores".
+    """
+    if jobs is None:
+        try:
+            jobs = int(os.environ.get(JOBS_ENV, "1"))
+        except ValueError:
+            jobs = 1
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def _chunk_indices(n_items: int, n_chunks: int) -> list[range]:
+    """Split ``range(n_items)`` into at most ``n_chunks`` contiguous runs."""
+    n_chunks = max(1, min(n_chunks, n_items))
+    base, extra = divmod(n_items, n_chunks)
+    out, start = [], 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        out.append(range(start, start + size))
+        start += size
+    return out
+
+
+def _run_chunk(fn: Callable[[Any], Any], items: list) -> list:
+    """Worker entry point: apply ``fn`` to each item of one chunk."""
+    return [fn(item) for item in items]
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    jobs: Optional[int] = None,
+    chunks_per_worker: int = 4,
+) -> list:
+    """``[fn(x) for x in items]`` over a process pool, order-preserving.
+
+    ``fn`` and every item must be picklable (module-level function, plain
+    dataclasses).  Falls back to in-process execution when ``jobs`` resolves
+    to 1 or the pool cannot be created; if the pool breaks mid-run, the
+    missing chunks are recomputed serially — results are identical either
+    way, because each item is independent and internally seeded.
+    """
+    items = list(items)
+    jobs = resolve_jobs(jobs)
+    if jobs == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+
+    chunks = _chunk_indices(len(items), jobs * chunks_per_worker)
+    results: list = [None] * len(items)
+    done = [False] * len(chunks)
+
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
+            futures = [
+                (ci, pool.submit(_run_chunk, fn, [items[i] for i in span]))
+                for ci, span in enumerate(chunks)
+            ]
+            for ci, future in futures:
+                chunk_results = future.result()
+                for offset, i in enumerate(chunks[ci]):
+                    results[i] = chunk_results[offset]
+                done[ci] = True
+    except Exception as exc:
+        # Only infrastructure failures (no multiprocessing support, pool
+        # creation denied, pool broken mid-run) trigger the serial fallback;
+        # an exception raised by fn() inside a worker is re-raised verbatim.
+        from concurrent.futures.process import BrokenProcessPool
+
+        if not isinstance(exc, (ImportError, NotImplementedError, OSError,
+                                PermissionError, BrokenProcessPool)):
+            raise
+    for ci, span in enumerate(chunks):
+        if not done[ci]:
+            for i in span:
+                results[i] = fn(items[i])
+    return results
+
+
+def _run_one_trial(trial: Any) -> Any:
+    """Module-level (hence picklable) single-trial worker."""
+    from repro.experiments.common import run_single_trial
+
+    return run_single_trial(trial)
+
+
+def execute_trials(
+    trials: Sequence[Any],
+    jobs: Optional[int] = None,
+    cache: Union[None, bool, "ResultCache"] = None,
+) -> list:
+    """Run a batch of :class:`InjectionTrial` configs, possibly in parallel.
+
+    Args:
+        trials: trial configs, one independent simulated world each.
+        jobs: worker processes (``None`` → ``$REPRO_JOBS`` → 1; ``<=0`` →
+            all cores).
+        cache: ``None``/``False`` disables caching; ``True`` uses the
+            default on-disk :class:`ResultCache`; an instance is used as
+            given.
+
+    Returns:
+        ``TrialResult`` objects in trial order — bit-identical to serial
+        execution for the same trial list.
+    """
+    trials = list(trials)
+    if cache is True:
+        from repro.runner.cache import ResultCache
+
+        cache = ResultCache()
+    elif cache is False:
+        cache = None
+
+    results: list = [None] * len(trials)
+    missing: list[int] = []
+    if cache is not None:
+        for i, trial in enumerate(trials):
+            hit = cache.get(trial)
+            if hit is not None:
+                results[i] = hit
+            else:
+                missing.append(i)
+    else:
+        missing = list(range(len(trials)))
+
+    if missing:
+        fresh = parallel_map(_run_one_trial, [trials[i] for i in missing],
+                             jobs=jobs)
+        for slot, result in zip(missing, fresh):
+            results[slot] = result
+            if cache is not None:
+                cache.put(trials[slot], result)
+    return results

@@ -1,21 +1,35 @@
-"""Event queue for the discrete-event simulator."""
+"""Event queue for the discrete-event simulator.
+
+Hot-path notes
+--------------
+The queue is the single busiest structure of a run (every frame, window
+and timeout passes through it), so it avoids per-event overhead:
+
+* heap entries are plain ``(time_us, seq, event)`` tuples — ordering is
+  resolved by cheap tuple comparison instead of dataclass ``__lt__``
+  dispatch, and ``seq`` is unique so the comparison never reaches the
+  :class:`Event` object itself;
+* :class:`Event` is a ``__slots__`` handle (no per-instance ``__dict__``);
+* ``len(queue)`` is O(1): a live (non-cancelled, non-popped) counter is
+  maintained by ``push``/``pop``/``cancel``/``clear`` instead of scanning
+  the heap.
+"""
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Callable, Optional
 
 from repro.errors import SchedulingError
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.
+    """A scheduled callback handle.
 
-    Events order by time, then by a monotonically increasing sequence
-    number, so simultaneous events fire in scheduling order (deterministic).
+    Events fire in ``(time_us, seq)`` order; ``seq`` increases
+    monotonically, so simultaneous events fire in scheduling order
+    (deterministic).
 
     Attributes:
         time_us: absolute simulator (true) time at which to fire.
@@ -25,49 +39,85 @@ class Event:
         cancelled: set via :meth:`cancel`; cancelled events are skipped.
     """
 
-    time_us: float
-    seq: int
-    handler: Callable[[], None] = field(compare=False)
-    label: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time_us", "seq", "handler", "label", "cancelled", "_queue")
+
+    def __init__(
+        self,
+        time_us: float,
+        seq: int,
+        handler: Callable[[], None],
+        label: str = "",
+        queue: Optional["EventQueue"] = None,
+    ):
+        self.time_us = time_us
+        self.seq = seq
+        self.handler = handler
+        self.label = label
+        self.cancelled = False
+        self._queue = queue
 
     def cancel(self) -> None:
         """Mark the event so the queue drops it instead of firing it."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue = self._queue
+        if queue is not None:
+            # Still sitting in a queue: keep its live count accurate.
+            queue._live -= 1
+            self._queue = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time_us} seq={self.seq} {self.label!r}{state}>"
 
 
 class EventQueue:
     """A time-ordered queue of :class:`Event` objects."""
 
+    __slots__ = ("_heap", "_seq", "_live")
+
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, Event]] = []
         self._seq = itertools.count()
+        self._live = 0
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
 
     def push(self, time_us: float, handler: Callable[[], None], label: str = "") -> Event:
         """Schedule ``handler`` at ``time_us`` and return the event handle."""
         if not callable(handler):
             raise SchedulingError(f"handler is not callable: {handler!r}")
-        event = Event(time_us=time_us, seq=next(self._seq), handler=handler, label=label)
-        heapq.heappush(self._heap, event)
+        seq = next(self._seq)
+        event = Event(time_us, seq, handler, label, self)
+        heapq.heappush(self._heap, (time_us, seq, event))
+        self._live += 1
         return event
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest non-cancelled event, or ``None``."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
             if not event.cancelled:
+                # Detached: a later cancel() must not touch our counter.
+                event._queue = None
+                self._live -= 1
                 return event
+            # Cancelled entries were uncounted at cancel() time.
         return None
 
     def peek_time(self) -> Optional[float]:
         """Time of the next non-cancelled event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time_us if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
 
     def clear(self) -> None:
         """Drop every pending event."""
+        for _, _, event in self._heap:
+            event._queue = None
         self._heap.clear()
+        self._live = 0

@@ -19,11 +19,30 @@ The medium implements this by assigning locks at transmission *start* time:
 an eligible listening receiver that is not already locked becomes locked to
 the new frame until its end.  At frame end the locked frame is resolved
 against every overlapping transmission and delivered (possibly corrupted).
+
+Hot-path notes
+--------------
+``transmit``/``_finish`` run once per frame, i.e. millions of times per
+experiment sweep, so:
+
+* in-flight frames live in a dict keyed by ``frame_id`` (O(1) removal at
+  frame end instead of a list scan);
+* the recently-finished window is a deque pruned incrementally from the
+  left (frames finish in time order) instead of being rebuilt by a list
+  comprehension on every frame end;
+* geometry (``topology.distance``/``walls_between``) is cached per
+  (sender, receiver) pair and invalidated via :attr:`Topology.version`
+  whenever a device moves or a wall is added — shadowing stays sampled
+  per transmission, so RNG draws and determinism are unchanged;
+* trace records are guarded by ``trace.enabled`` at the call site, so a
+  disabled trace costs no kwargs-dict allocation.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
+from itertools import chain
 from typing import TYPE_CHECKING, Optional
 
 from repro.errors import MediumError
@@ -82,12 +101,16 @@ class Medium:
         self.sensitivity_dbm = sensitivity_dbm
         self._transceivers: dict[int, "Transceiver"] = {}
         self._next_id = 0
-        self._active: list[_ActiveTransmission] = []
-        self._recent: list[_ActiveTransmission] = []
+        self._active: dict[int, _ActiveTransmission] = {}
+        self._recent: deque[_ActiveTransmission] = deque()
         self._locks: dict[int, _ReceiverLock] = {}
         self._shadow_rng = sim.streams.get("medium-shadowing")
         self._collision_rng = sim.streams.get("medium-collision")
         self._taps: list = []
+        # (sender_id, receiver_id) -> (distance_m, walls crossed); rebuilt
+        # lazily whenever the topology version moves.
+        self._path_cache: dict[tuple[int, int], tuple[float, tuple]] = {}
+        self._path_cache_version = -1
 
     def register(self, transceiver: "Transceiver") -> int:
         """Attach a transceiver; returns its medium id."""
@@ -110,33 +133,51 @@ class Medium:
             )
         tx = _ActiveTransmission(frame=frame, sender=sender)
         self._sample_rx_powers(tx)
-        self._active.append(tx)
+        self._active[frame.frame_id] = tx
         self._assign_locks(tx)
-        self.sim.trace.record(
-            self.sim.now, sender.name, "tx",
-            channel=frame.channel, aa=frame.access_address,
-            pdu_len=len(frame.pdu), frame_id=frame.frame_id,
-        )
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.record(
+                self.sim.now, sender.name, "tx",
+                channel=frame.channel, aa=frame.access_address,
+                pdu_len=len(frame.pdu), frame_id=frame.frame_id,
+            )
         self.sim.schedule_at(frame.end_us, lambda: self._finish(tx), "medium-finish")
         for tap in self._taps:
             tap(frame)
 
     def _sample_rx_powers(self, tx: _ActiveTransmission) -> None:
         """Sample the received power of ``tx`` at every other transceiver."""
+        topology = self.topology
+        if topology.version != self._path_cache_version:
+            self._path_cache.clear()
+            self._path_cache_version = topology.version
         sender = tx.sender
+        sender_id = sender.medium_id
+        cache = self._path_cache
+        path_loss = self.path_loss
+        tx_power = tx.frame.tx_power_dbm
+        shadow_rng = self._shadow_rng
+        powers = tx.rx_power_dbm
         for tid, rx in self._transceivers.items():
-            if tid == sender.medium_id:
+            if tid == sender_id:
                 continue
-            distance = self.topology.distance(sender.name, rx.name)
-            walls = self.topology.walls_between(sender.name, rx.name)
-            power = self.path_loss.received_power_dbm(
-                tx.frame.tx_power_dbm, distance, self._shadow_rng, walls
+            key = (sender_id, tid)
+            path = cache.get(key)
+            if path is None:
+                path = (
+                    topology.distance(sender.name, rx.name),
+                    topology.walls_between(sender.name, rx.name),
+                )
+                cache[key] = path
+            powers[tid] = path_loss.received_power_dbm(
+                tx_power, path[0], shadow_rng, path[1]
             )
-            tx.rx_power_dbm[tid] = power
 
     def _assign_locks(self, tx: _ActiveTransmission) -> None:
         """Lock every eligible idle listening receiver onto ``tx``."""
         now = self.sim.now
+        trace = self.sim.trace
         for tid, rx in self._transceivers.items():
             if tid == tx.sender.medium_id:
                 continue
@@ -152,28 +193,34 @@ class Medium:
             if lock is not None and lock.until_us > now + 1e-9:
                 # Receiver busy demodulating an earlier frame: this frame is
                 # interference only (handled at resolution time).
-                self.sim.trace.record(
-                    now, rx.name, "rx-busy",
-                    frame_id=tx.frame.frame_id, locked_to=lock.frame_id,
-                )
+                if trace.enabled:
+                    trace.record(
+                        now, rx.name, "rx-busy",
+                        frame_id=tx.frame.frame_id, locked_to=lock.frame_id,
+                    )
                 continue
             self._locks[tid] = _ReceiverLock(tx.frame.frame_id, tx.frame.end_us)
-            self.sim.trace.record(
-                now, rx.name, "rx-lock",
-                frame_id=tx.frame.frame_id, channel=tx.frame.channel,
-                rssi_dbm=tx.rx_power_dbm[tid],
-            )
+            if trace.enabled:
+                trace.record(
+                    now, rx.name, "rx-lock",
+                    frame_id=tx.frame.frame_id, channel=tx.frame.channel,
+                    rssi_dbm=tx.rx_power_dbm[tid],
+                )
 
     def _finish(self, tx: _ActiveTransmission) -> None:
         """Frame finished: resolve collisions and deliver to locked receivers."""
-        self._active.remove(tx)
-        self._recent.append(tx)
+        self._active.pop(tx.frame.frame_id, None)
+        recent = self._recent
+        recent.append(tx)
         # Bound the memory of past transmissions: only frames overlapping a
-        # still-active one matter.
+        # still-active one matter.  _finish fires in time order, so recent
+        # is sorted by end time and pruning from the left is exact.
         horizon = self.sim.now - 20_000.0
-        self._recent = [t for t in self._recent if t.frame.end_us >= horizon]
+        while recent and recent[0].frame.end_us < horizon:
+            recent.popleft()
         tx.sender.on_tx_done(tx.frame)
 
+        trace = self.sim.trace
         for tid, lock in list(self._locks.items()):
             if lock.frame_id != tx.frame.frame_id:
                 continue
@@ -181,27 +228,29 @@ class Medium:
             rx = self._transceivers[tid]
             if not rx.is_listening_on(tx.frame.channel, since_us=None):
                 # Receiver gave up (window closed) before the frame ended.
-                self.sim.trace.record(
-                    self.sim.now, rx.name, "rx-abandoned",
-                    frame_id=tx.frame.frame_id,
-                )
+                if trace.enabled:
+                    trace.record(
+                        self.sim.now, rx.name, "rx-abandoned",
+                        frame_id=tx.frame.frame_id,
+                    )
                 continue
             copy = tx.frame.copy_for_receiver()
             outcome = self._resolve_interference(tx, tid)
             if outcome is not None and not outcome.survived:
                 copy.corrupted = True
-            self.sim.trace.record(
-                self.sim.now, rx.name, "rx",
-                frame_id=copy.frame_id, corrupted=copy.corrupted,
-                rssi_dbm=tx.rx_power_dbm[tid],
-            )
+            if trace.enabled:
+                trace.record(
+                    self.sim.now, rx.name, "rx",
+                    frame_id=copy.frame_id, corrupted=copy.corrupted,
+                    rssi_dbm=tx.rx_power_dbm[tid],
+                )
             rx.deliver(copy, tx.rx_power_dbm[tid])
 
     def _resolve_interference(self, tx: _ActiveTransmission, receiver_id: int):
         """Resolve ``tx`` against all frames overlapping it at ``receiver_id``."""
         overlaps: list[Overlap] = []
         wanted_power = tx.rx_power_dbm[receiver_id]
-        for other in self._active + self._recent:
+        for other in chain(self._active.values(), self._recent):
             if other.frame.frame_id == tx.frame.frame_id:
                 continue
             if other.sender.medium_id == receiver_id:
@@ -221,13 +270,15 @@ class Medium:
         if not overlaps:
             return None
         outcome = self.collision.resolve(tx.frame, overlaps, self._collision_rng)
-        self.sim.trace.record(
-            self.sim.now, self._transceivers[receiver_id].name, "collision",
-            frame_id=tx.frame.frame_id,
-            overlapped_bits=outcome.overlapped_bits,
-            corrupted_bits=outcome.corrupted_bits,
-            survived=outcome.survived,
-        )
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.record(
+                self.sim.now, self._transceivers[receiver_id].name, "collision",
+                frame_id=tx.frame.frame_id,
+                overlapped_bits=outcome.overlapped_bits,
+                corrupted_bits=outcome.corrupted_bits,
+                survived=outcome.survived,
+            )
         return outcome
 
     # ------------------------------------------------------------------
@@ -236,7 +287,8 @@ class Medium:
 
     def active_on_channel(self, channel: int) -> list[RadioFrame]:
         """Frames currently on air on ``channel`` (for IDS-style monitors)."""
-        return [t.frame for t in self._active if t.frame.channel == channel]
+        return [t.frame for t in self._active.values()
+                if t.frame.channel == channel]
 
     def add_tap(self, tap) -> None:
         """Register a wideband monitor callback, called at every frame start.

@@ -83,14 +83,20 @@ class Topology:
 
     Devices are identified by name; the medium queries pairwise distances
     and crossed walls when sampling received power.
+
+    ``version`` increases on every mutation (:meth:`place`,
+    :meth:`add_wall`); consumers that cache derived geometry (the medium's
+    per-pair path cache) compare it to detect staleness.
     """
 
     positions: dict[str, Point] = field(default_factory=dict)
     walls: list[WallSegment] = field(default_factory=list)
+    version: int = field(default=0, compare=False, repr=False)
 
     def place(self, name: str, x: float, y: float) -> None:
         """Set (or move) a device's position."""
         self.positions[name] = Point(x, y)
+        self.version += 1
 
     def position_of(self, name: str) -> Point:
         """Position of device ``name``."""
@@ -105,6 +111,7 @@ class Topology:
         self.walls.append(
             WallSegment(Point(ax, ay), Point(bx, by), Wall(attenuation_db))
         )
+        self.version += 1
 
     def distance(self, name_a: str, name_b: str) -> float:
         """Distance between two placed devices, in metres."""

@@ -1,0 +1,175 @@
+"""Tests for the parallel trial runner and the on-disk result cache."""
+
+import pickle
+
+import pytest
+
+from repro.experiments.common import InjectionTrial, run_trials
+from repro.runner import (
+    ResultCache,
+    execute_trials,
+    parallel_map,
+    resolve_jobs,
+    stable_trial_key,
+)
+from repro.runner.executor import _chunk_indices
+
+
+def _square(x):
+    """Module-level so the process pool can pickle it."""
+    return x * x
+
+
+def _quick_trial(seed):
+    return InjectionTrial(seed=seed, hop_interval=75)
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_env_var_is_honoured(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs(None) == 3
+
+    def test_garbage_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        assert resolve_jobs(None) == 1
+
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(2) == 2
+
+    def test_zero_means_all_cores(self):
+        assert resolve_jobs(0) >= 1
+
+
+class TestChunking:
+    def test_chunks_partition_the_range(self):
+        for n_items in (1, 5, 16, 17):
+            for n_chunks in (1, 3, 8, 40):
+                spans = _chunk_indices(n_items, n_chunks)
+                flat = [i for span in spans for i in span]
+                assert flat == list(range(n_items))
+
+    def test_no_empty_chunks(self):
+        assert all(len(span) > 0 for span in _chunk_indices(3, 16))
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(_square, range(7), jobs=1) == [
+            0, 1, 4, 9, 16, 25, 36]
+
+    def test_pool_preserves_order(self):
+        assert parallel_map(_square, range(23), jobs=3) == [
+            i * i for i in range(23)]
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ZeroDivisionError):
+            parallel_map(_reciprocal, [2, 0], jobs=2)
+
+
+def _reciprocal(x):
+    return 1 / x
+
+
+class TestParallelDeterminism:
+    def test_jobs4_equals_jobs1_field_for_field(self):
+        """The runner's core contract: job count never changes results."""
+        serial = run_trials(21, 4, _quick_trial, jobs=1)
+        parallel = run_trials(21, 4, _quick_trial, jobs=4)
+        assert parallel == serial  # TrialResult eq covers report/records too
+        assert [r.attempts for r in parallel] == [r.attempts for r in serial]
+
+
+class TestTrialKey:
+    def test_key_is_stable(self):
+        trial = _quick_trial(5)
+        assert stable_trial_key(trial, "tok") == stable_trial_key(trial, "tok")
+
+    def test_every_field_is_significant(self):
+        base = InjectionTrial(seed=1)
+        variants = [
+            InjectionTrial(seed=2),
+            InjectionTrial(seed=1, hop_interval=75),
+            InjectionTrial(seed=1, pdu_len=9),
+            InjectionTrial(seed=1, attacker_distance_m=4.0),
+            InjectionTrial(seed=1, wall_attenuation_db=8.0),
+            InjectionTrial(seed=1, widening_scale=0.5),
+            InjectionTrial(seed=1, encrypted=True),
+        ]
+        keys = {stable_trial_key(t, "tok") for t in [base] + variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_code_token_is_significant(self):
+        trial = _quick_trial(5)
+        assert stable_trial_key(trial, "a") != stable_trial_key(trial, "b")
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(TypeError):
+            stable_trial_key({"seed": 1})
+
+
+class TestResultCache:
+    def test_second_run_hits_the_cache(self, tmp_path):
+        cache = ResultCache(root=tmp_path, token="tok")
+        trials = [_quick_trial(31_0000 + i) for i in range(2)]
+        first = execute_trials(trials, jobs=1, cache=cache)
+        assert (cache.hits, cache.misses, cache.stores) == (0, 2, 2)
+        second = execute_trials(trials, jobs=1, cache=cache)
+        assert cache.hits == 2
+        assert second == first
+
+    def test_edited_field_misses(self, tmp_path):
+        cache = ResultCache(root=tmp_path, token="tok")
+        trial = _quick_trial(32_0000)
+        execute_trials([trial], jobs=1, cache=cache)
+        edited = InjectionTrial(seed=trial.seed, hop_interval=75, pdu_len=9)
+        assert cache.get(edited) is None
+        assert cache.misses >= 1
+
+    def test_new_code_token_misses(self, tmp_path):
+        old = ResultCache(root=tmp_path, token="old-code")
+        trial = _quick_trial(33_0000)
+        execute_trials([trial], jobs=1, cache=old)
+        fresh = ResultCache(root=tmp_path, token="new-code")
+        assert fresh.get(trial) is None
+
+    @pytest.mark.parametrize("garbage", [
+        b"not a pickle",   # -> UnpicklingError
+        b"garbage\n",      # 'g' is the GET opcode -> ValueError
+        b"",               # -> EOFError
+    ])
+    def test_corrupt_entry_is_a_miss(self, tmp_path, garbage):
+        cache = ResultCache(root=tmp_path, token="tok")
+        trial = _quick_trial(34_0000)
+        cache.put(trial, "placeholder")
+        path = cache._path_for(cache.key_for(trial))
+        path.write_bytes(garbage)
+        assert cache.get(trial) is None
+        assert not path.exists()  # corrupt entries are dropped
+
+    def test_roundtrip_preserves_results_exactly(self, tmp_path):
+        cache = ResultCache(root=tmp_path, token="tok")
+        trial = _quick_trial(35_0000)
+        [result] = execute_trials([trial], jobs=1, cache=cache)
+        assert cache.get(trial) == result
+        # Belt and braces: the pickle layer must be loss-free.
+        assert pickle.loads(pickle.dumps(result)) == result
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(root=tmp_path, token="tok")
+        cache.put(_quick_trial(36_0000), "x")
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_cache_true_uses_default_location(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cachedir"))
+        trial = _quick_trial(37_0000)
+        first = execute_trials([trial], jobs=1, cache=True)
+        second = execute_trials([trial], jobs=1, cache=True)
+        assert first == second
+        assert (tmp_path / "cachedir").exists()

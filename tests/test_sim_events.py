@@ -45,6 +45,26 @@ class TestEventQueue:
         a.cancel()
         assert len(queue) == 1
 
+    def test_len_is_counter_maintained(self):
+        # len() must stay exact through push/pop/cancel interleavings
+        # (it is a live counter now, not a heap scan).
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(6)]
+        events[0].cancel()
+        events[0].cancel()  # double cancel must not double-decrement
+        assert len(queue) == 5
+        popped = queue.pop()
+        assert popped is events[1] and len(queue) == 4
+        popped.cancel()  # cancelling after pop must not touch the count
+        assert len(queue) == 4
+        events[3].cancel()
+        assert len(queue) == 3
+        assert queue.peek_time() == 2.0
+        queue.clear()
+        assert len(queue) == 0
+        events[4].cancel()  # cancel after clear: still safe
+        assert len(queue) == 0
+
     def test_peek_time(self):
         queue = EventQueue()
         queue.push(9.0, lambda: None)

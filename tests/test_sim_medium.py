@@ -175,6 +175,37 @@ class TestHalfDuplex:
         assert got == []
 
 
+class TestPathCache:
+    """The medium caches distance/walls per pair; mutations must invalidate."""
+
+    def test_moving_a_device_invalidates_cached_paths(self):
+        sim, medium, radios = build_world(
+            path_loss=PathLossModel(shadowing_sigma_db=0.0))
+        got = []
+        radios["rx"].on_frame = lambda f, rssi: got.append(f)
+        radios["rx"].listen(7)
+        sim.schedule_at(10.0, lambda: radios["tx"].transmit(1 << 20, b"a", 0, 7))
+        # Move the receiver out of radio range between the two frames.
+        sim.schedule_at(500.0, lambda: medium.topology.place("rx", 4000.0, 0.0))
+        sim.schedule_at(600.0, lambda: radios["tx"].transmit(1 << 20, b"b", 0, 7))
+        sim.run()
+        assert [f.pdu for f in got] == [b"a"]
+
+    def test_adding_a_wall_invalidates_cached_paths(self):
+        sim, medium, radios = build_world(
+            path_loss=PathLossModel(shadowing_sigma_db=0.0))
+        rssi_seen = []
+        radios["rx"].on_frame = lambda f, rssi: rssi_seen.append(rssi)
+        radios["rx"].listen(7)
+        sim.schedule_at(10.0, lambda: radios["tx"].transmit(1 << 20, b"a", 0, 7))
+        sim.schedule_at(500.0, lambda: medium.topology.add_wall(
+            1.0, -10.0, 1.0, 10.0, attenuation_db=30.0))
+        sim.schedule_at(600.0, lambda: radios["tx"].transmit(1 << 20, b"b", 0, 7))
+        sim.run()
+        assert len(rssi_seen) == 2
+        assert rssi_seen[1] == pytest.approx(rssi_seen[0] - 30.0)
+
+
 class TestTap:
     def test_tap_sees_every_frame(self):
         sim, medium, radios = build_world()
