@@ -1,0 +1,152 @@
+"""PERF-2 — codec-kernel throughput trajectory.
+
+Times each table-driven primitive against its retained bit-level reference
+(crc24, reverse_crc24_init, whiten — all on 64-byte frames, the paper's
+over-the-air injection size class —, a cold 1000-event CSA#2 schedule, and
+a single AES-128 block) and appends one record per primitive to
+``BENCH_codec.json`` at the repo root, alongside ``BENCH_runner.json``.
+
+Record schema (``schema`` = 1, mirroring the runner trajectory)::
+
+    {"utc": ..., "primitive": ..., "ops_per_sec_ref": ...,
+     "ops_per_sec_fast": ..., "speedup": ...}
+
+Asserted (the PR's acceptance floor, far below measured headroom):
+  * crc24 and whiten >= 5x on 64-byte frames;
+  * a cold 1000-event CSA#2 schedule >= 3x (including block-fill cost);
+  * reverse_crc24_init and the AES block >= 2x.
+
+``REPRO_BENCH_CODEC_ITERS`` scales the fast-path iteration counts for CI
+smoke runs (reference counts scale with it, floored at 20).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Callable
+
+import pytest
+
+from repro.crypto.aes import (
+    aes128_encrypt_block,
+    aes128_encrypt_block_reference,
+)
+from repro.ll import csa2 as csa2_module
+from repro.ll.csa2 import Csa2
+from repro.phy.crc import (
+    crc24,
+    crc24_reference,
+    reverse_crc24_init,
+    reverse_crc24_init_reference,
+)
+from repro.phy.whitening import whiten, whiten_reference
+
+#: Trajectory artefact, kept at the repo root across PRs.
+BENCH_FILE = Path(__file__).parent.parent / "BENCH_codec.json"
+
+#: Fast-path iterations per primitive (references run ITERS // 10).
+ITERS = int(os.environ.get("REPRO_BENCH_CODEC_ITERS", "2000"))
+
+#: A 64-byte frame — the paper's injected Write Request size class.
+FRAME = bytes((7 * i + 3) & 0xFF for i in range(64))
+CRC_INIT = 0x555555
+CHANNEL = 17
+AES_KEY = bytes(range(16))
+AES_BLOCK = bytes(range(16, 32))
+CSA_AA = 0x71764129
+CSA_EVENTS = 1000
+
+
+def _ops_per_sec(fn: Callable[[], object], iters: int) -> float:
+    iters = max(iters, 20)
+    start = time.perf_counter()
+    for _ in range(iters):
+        fn()
+    elapsed = time.perf_counter() - start
+    return iters / elapsed if elapsed > 0 else float("inf")
+
+
+def _csa2_schedule_fast() -> None:
+    # Cold: drop the memoised schedules so block-fill cost is included.
+    csa2_module.clear_schedule_cache()
+    csa = Csa2(CSA_AA)
+    for event in range(CSA_EVENTS):
+        csa.channel_for_event(event)
+
+
+def _csa2_schedule_reference() -> None:
+    csa = Csa2(CSA_AA)
+    for event in range(CSA_EVENTS):
+        csa.channel_for_event_reference(event)
+
+
+#: (primitive, fast thunk, reference thunk, fast iters divisor, floor)
+PRIMITIVES = (
+    ("crc24/64B",
+     lambda: crc24(FRAME, CRC_INIT),
+     lambda: crc24_reference(FRAME, CRC_INIT), 1, 5.0),
+    ("reverse_crc24_init/64B",
+     lambda: reverse_crc24_init(FRAME, CRC_INIT),
+     lambda: reverse_crc24_init_reference(FRAME, CRC_INIT), 1, 2.0),
+    ("whiten/64B",
+     lambda: whiten(FRAME, CHANNEL),
+     lambda: whiten_reference(FRAME, CHANNEL), 1, 5.0),
+    ("csa2_schedule/1000ev",
+     _csa2_schedule_fast, _csa2_schedule_reference, 50, 3.0),
+    ("aes128_block",
+     lambda: aes128_encrypt_block(AES_KEY, AES_BLOCK),
+     lambda: aes128_encrypt_block_reference(AES_KEY, AES_BLOCK), 1, 2.0),
+)
+
+
+def _append_trajectory(records: list) -> None:
+    try:
+        data = json.loads(BENCH_FILE.read_text())
+        assert isinstance(data.get("runs"), list)
+    except (OSError, ValueError, AssertionError):
+        data = {"schema": 1, "benchmark": "codec-kernels", "runs": []}
+    data["runs"].extend(records)
+    BENCH_FILE.write_text(json.dumps(data, indent=2) + "\n")
+
+
+@pytest.mark.benchmark(group="perf")
+def test_codec_kernel_throughput(benchmark, results_dir):
+    utc = datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+    records, failures = [], []
+    for name, fast, reference, divisor, floor in PRIMITIVES:
+        fast_iters = max(ITERS // divisor, 20)
+        # Warm lazily-built tables/caches out of the measurement.
+        fast(), reference()
+        ops_fast = _ops_per_sec(fast, fast_iters)
+        ops_ref = _ops_per_sec(reference, max(fast_iters // 10, 20))
+        speedup = ops_fast / ops_ref
+        records.append({
+            "utc": utc,
+            "primitive": name,
+            "ops_per_sec_ref": round(ops_ref, 1),
+            "ops_per_sec_fast": round(ops_fast, 1),
+            "speedup": round(speedup, 2),
+        })
+        if speedup < floor:
+            failures.append(f"{name}: {speedup:.2f}x < {floor}x")
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    _append_trajectory(records)
+
+    lines = ["PERF-2 — codec kernels (fast vs. bit-level reference)"]
+    for record in records:
+        lines.append(
+            f"  {record['primitive']:>24}: "
+            f"{record['ops_per_sec_ref']:>12.1f} -> "
+            f"{record['ops_per_sec_fast']:>12.1f} ops/s "
+            f"({record['speedup']:.2f}x)"
+        )
+    summary = "\n".join(lines)
+    print("\n" + summary)
+    (results_dir / "perf_codec.txt").write_text(summary + "\n")
+
+    assert not failures, "; ".join(failures)

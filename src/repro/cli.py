@@ -136,6 +136,42 @@ def _cmd_crack(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import io
+    import pstats
+
+    from repro.experiments import (
+        run_experiment_distance,
+        run_experiment_hop_interval,
+        run_experiment_payload_size,
+        run_experiment_wall,
+    )
+
+    runners = {
+        "hop": run_experiment_hop_interval,
+        "payload": run_experiment_payload_size,
+        "distance": run_experiment_distance,
+        "wall": run_experiment_wall,
+    }
+    runner = runners[args.which]
+    profiler = cProfile.Profile()
+    profiler.enable()
+    # Serial and uncached on purpose: child processes would escape the
+    # profiler, and cache hits would hide the simulation cost.
+    runner(base_seed=args.seed, n_connections=args.connections,
+           jobs=1, cache=False)
+    profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(args.top)
+    print(f"repro profile {args.which} — {args.connections} connection(s) "
+          f"per configuration, seed {args.seed}, top {args.top} by "
+          f"cumulative time")
+    print(stream.getvalue())
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.runner import ResultCache
 
@@ -196,6 +232,19 @@ def build_parser() -> argparse.ArgumentParser:
     crack.add_argument("--max-pin", type=int, default=0,
                        help="brute-force bound (0 = Just Works only)")
     crack.set_defaults(func=_cmd_crack)
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile a reduced experiment sweep under cProfile")
+    profile.add_argument("which",
+                         choices=("hop", "payload", "distance", "wall"))
+    profile.add_argument("--connections", type=int, default=2,
+                         help="connections per configuration (reduced "
+                              "workload default: 2)")
+    profile.add_argument("--seed", type=int, default=1)
+    profile.add_argument("--top", type=int, default=20,
+                         help="entries to print, sorted by cumulative time")
+    profile.set_defaults(func=_cmd_profile)
 
     cache = sub.add_parser("cache",
                            help="manage the on-disk trial-result cache")

@@ -46,6 +46,8 @@ class SniffedConnection:
     def __init__(self, params: ConnectionParams):
         self.params = params
         self.selector = make_channel_selector(params)
+        # Hoisted out of advance_event: the selector kind never changes.
+        self._selector_is_csa2 = isinstance(self.selector, Csa2)
         self.event_count = 0
         self.current_channel: Optional[int] = None
         #: Attacker-timebase time of the last observed anchor (true µs).
@@ -93,7 +95,7 @@ class SniffedConnection:
                 and self._pending_update.instant == self.event_count):
             update_due = self._pending_update
             self._pending_update = None
-        if isinstance(self.selector, Csa2):
+        if self._selector_is_csa2:
             self.current_channel = self.selector.channel_for_event(self.event_count)
         else:
             self.current_channel = self.selector.next_channel()

@@ -1,32 +1,26 @@
 """AES-128 block cipher, encryption direction only (CCM needs no decrypt).
 
-A straightforward table-free implementation: S-box lookup, ShiftRows,
-MixColumns over GF(2^8), and the standard key schedule.  Performance is
-adequate for simulation workloads (a few thousand blocks per experiment).
+Two implementations share the FIPS-197 S-box:
+
+* the **fast path** (default) uses combined SubBytes/MixColumns T-tables
+  (four 256-entry 32-bit tables from :mod:`repro.kernels.tables`) and an
+  LRU-cached key schedule, so CCM — which encrypts several blocks per
+  frame under one session key — pays for ``expand_key`` once per key
+  instead of once per block;
+* the **reference path** (:func:`aes128_encrypt_block_reference`) is the
+  original table-free round-by-round implementation, retained for
+  differential testing.
 """
 
 from __future__ import annotations
 
-from repro.errors import SecurityError
+from functools import lru_cache
+from typing import List, Tuple
 
-_SBOX = bytes.fromhex(
-    "637c777bf26b6fc53001672bfed7ab76"
-    "ca82c97dfa5947f0add4a2af9ca472c0"
-    "b7fd9326363ff7cc34a5e5f171d83115"
-    "04c723c31896059a071280e2eb27b275"
-    "09832c1a1b6e5aa0523bd6b329e32f84"
-    "53d100ed20fcb15b6acbbe394a4c58cf"
-    "d0efaafb434d338545f9027f503c9fa8"
-    "51a3408f929d38f5bcb6da2110fff3d2"
-    "cd0c13ec5f974417c4a77e3d645d1973"
-    "60814fdc222a908846eeb814de5e0bdb"
-    "e0323a0a4906245cc2d3ac629195e479"
-    "e7c8376d8dd54ea96c56f4ea657aae08"
-    "ba78252e1ca6b4c6e8dd741f4bbd8b8a"
-    "703eb5664803f60e613557b986c11d9e"
-    "e1f8981169d98e949b1e87e9ce5528df"
-    "8ca1890dbfe6426841992d0fb054bb16"
-)
+from repro.errors import SecurityError
+from repro.kernels.tables import SBOX, TE0, TE1, TE2, TE3
+
+_SBOX = SBOX  # historical module-local alias
 
 _RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
 
@@ -39,8 +33,10 @@ def _xtime(a: int) -> int:
     return a & 0xFF
 
 
-def expand_key(key: bytes) -> list[bytes]:
-    """Expand a 16-byte key into the 11 round keys."""
+@lru_cache(maxsize=128)
+def _key_schedule(key: bytes) -> Tuple[Tuple[bytes, ...], Tuple[int, ...]]:
+    """The 11 round keys, both as 16-byte strings and as packed 32-bit
+    column words (big-endian, row 0 in the MSB) for the T-table rounds."""
     if len(key) != 16:
         raise SecurityError(f"AES-128 key must be 16 bytes, got {len(key)}")
     words = [key[i : i + 4] for i in range(0, 16, 4)]
@@ -51,7 +47,14 @@ def expand_key(key: bytes) -> list[bytes]:
             temp = bytearray(_SBOX[b] for b in temp)  # SubWord
             temp[0] ^= _RCON[i // 4 - 1]
         words.append(bytes(a ^ b for a, b in zip(words[i - 4], temp)))
-    return [b"".join(words[4 * r : 4 * r + 4]) for r in range(11)]
+    round_keys = tuple(b"".join(words[4 * r : 4 * r + 4]) for r in range(11))
+    packed = tuple(int.from_bytes(word, "big") for word in words)
+    return round_keys, packed
+
+
+def expand_key(key: bytes) -> List[bytes]:
+    """Expand a 16-byte key into the 11 round keys."""
+    return list(_key_schedule(key)[0])
 
 
 def _sub_bytes(state: bytearray) -> None:
@@ -84,11 +87,8 @@ def _add_round_key(state: bytearray, round_key: bytes) -> None:
         state[i] ^= round_key[i]
 
 
-def aes128_encrypt_block(key: bytes, block: bytes) -> bytes:
-    """Encrypt one 16-byte block with AES-128."""
-    if len(block) != 16:
-        raise SecurityError(f"AES block must be 16 bytes, got {len(block)}")
-    round_keys = expand_key(key)
+def _encrypt_reference(key: bytes, block: bytes) -> bytes:
+    round_keys = _key_schedule(key)[0]
     state = bytearray(block)
     _add_round_key(state, round_keys[0])
     for rnd in range(1, 10):
@@ -100,3 +100,54 @@ def aes128_encrypt_block(key: bytes, block: bytes) -> bytes:
     _shift_rows(state)
     _add_round_key(state, round_keys[10])
     return bytes(state)
+
+
+def _encrypt_ttable(key: bytes, block: bytes) -> bytes:
+    words = _key_schedule(key)[1]
+    te0, te1, te2, te3 = TE0, TE1, TE2, TE3
+    sbox = _SBOX
+    s0 = int.from_bytes(block[0:4], "big") ^ words[0]
+    s1 = int.from_bytes(block[4:8], "big") ^ words[1]
+    s2 = int.from_bytes(block[8:12], "big") ^ words[2]
+    s3 = int.from_bytes(block[12:16], "big") ^ words[3]
+    for rnd in range(1, 10):
+        k = 4 * rnd
+        t0 = (te0[s0 >> 24] ^ te1[(s1 >> 16) & 0xFF]
+              ^ te2[(s2 >> 8) & 0xFF] ^ te3[s3 & 0xFF] ^ words[k])
+        t1 = (te0[s1 >> 24] ^ te1[(s2 >> 16) & 0xFF]
+              ^ te2[(s3 >> 8) & 0xFF] ^ te3[s0 & 0xFF] ^ words[k + 1])
+        t2 = (te0[s2 >> 24] ^ te1[(s3 >> 16) & 0xFF]
+              ^ te2[(s0 >> 8) & 0xFF] ^ te3[s1 & 0xFF] ^ words[k + 2])
+        t3 = (te0[s3 >> 24] ^ te1[(s0 >> 16) & 0xFF]
+              ^ te2[(s1 >> 8) & 0xFF] ^ te3[s2 & 0xFF] ^ words[k + 3])
+        s0, s1, s2, s3 = t0, t1, t2, t3
+    # Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+    o0 = ((sbox[s0 >> 24] << 24) | (sbox[(s1 >> 16) & 0xFF] << 16)
+          | (sbox[(s2 >> 8) & 0xFF] << 8) | sbox[s3 & 0xFF]) ^ words[40]
+    o1 = ((sbox[s1 >> 24] << 24) | (sbox[(s2 >> 16) & 0xFF] << 16)
+          | (sbox[(s3 >> 8) & 0xFF] << 8) | sbox[s0 & 0xFF]) ^ words[41]
+    o2 = ((sbox[s2 >> 24] << 24) | (sbox[(s3 >> 16) & 0xFF] << 16)
+          | (sbox[(s0 >> 8) & 0xFF] << 8) | sbox[s1 & 0xFF]) ^ words[42]
+    o3 = ((sbox[s3 >> 24] << 24) | (sbox[(s0 >> 16) & 0xFF] << 16)
+          | (sbox[(s1 >> 8) & 0xFF] << 8) | sbox[s2 & 0xFF]) ^ words[43]
+    return (o0.to_bytes(4, "big") + o1.to_bytes(4, "big")
+            + o2.to_bytes(4, "big") + o3.to_bytes(4, "big"))
+
+
+#: Active kernel; :func:`repro.kernels.reference_kernels` swaps it.
+_encrypt_impl = _encrypt_ttable
+
+
+def aes128_encrypt_block(key: bytes, block: bytes) -> bytes:
+    """Encrypt one 16-byte block with AES-128."""
+    if len(block) != 16:
+        raise SecurityError(f"AES block must be 16 bytes, got {len(block)}")
+    return _encrypt_impl(key, block)
+
+
+def aes128_encrypt_block_reference(key: bytes, block: bytes) -> bytes:
+    """Table-free :func:`aes128_encrypt_block`, retained for differential
+    testing."""
+    if len(block) != 16:
+        raise SecurityError(f"AES block must be 16 bytes, got {len(block)}")
+    return _encrypt_reference(key, block)

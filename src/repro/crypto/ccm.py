@@ -18,7 +18,11 @@ _L = 2  # length-field size
 
 
 def _xor(a: bytes, b: bytes) -> bytes:
-    return bytes(x ^ y for x, y in zip(a, b))
+    # Single big-int XOR instead of a per-byte generator; truncates to the
+    # shorter input like the zip() it replaces.
+    n = min(len(a), len(b))
+    return (int.from_bytes(a[:n], "little")
+            ^ int.from_bytes(b[:n], "little")).to_bytes(n, "little")
 
 
 def _check_nonce(nonce: bytes) -> None:

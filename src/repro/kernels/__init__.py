@@ -1,0 +1,71 @@
+"""Table-driven codec kernels.
+
+The per-frame / per-event primitives of the reproduction — CRC-24 (both
+directions), data whitening, CSA#2 channel selection and AES-128 — each
+have a byte-wise, table-driven fast path and a retained bit-level
+reference implementation.  :mod:`repro.kernels.tables` holds the shared
+lookup tables; this package front-door adds :func:`reference_kernels`,
+a context manager that swaps every fast path back to its reference so
+differential tests can compare whole-trial outputs, not just primitives.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.kernels.tables import (
+    CRC24_POLY_MASK,
+    CRC24_REVERSE_TABLE,
+    CRC24_TABLE,
+    REV8,
+    SBOX,
+    TE0,
+    TE1,
+    TE2,
+    TE3,
+)
+
+__all__ = [
+    "CRC24_POLY_MASK",
+    "CRC24_REVERSE_TABLE",
+    "CRC24_TABLE",
+    "REV8",
+    "SBOX",
+    "TE0",
+    "TE1",
+    "TE2",
+    "TE3",
+    "reference_kernels",
+]
+
+
+@contextmanager
+def reference_kernels() -> Iterator[None]:
+    """Run everything inside the block on the bit-level reference kernels.
+
+    Swaps the implementation pointers of :mod:`repro.phy.crc`,
+    :mod:`repro.phy.whitening`, :mod:`repro.ll.csa2` and
+    :mod:`repro.crypto.aes` to the retained reference code, and restores
+    the fast paths on exit.  The public entry points (``crc24``,
+    ``whiten``, ``Csa2.channel_for_event``, ``aes128_encrypt_block``)
+    are unchanged objects, so modules that imported them by value are
+    covered too.  In-process only — worker processes of the parallel
+    runner are not affected, so differential tests should run serially.
+    """
+    from repro.crypto import aes
+    from repro.ll import csa2
+    from repro.phy import crc, whitening
+
+    saved = (crc._crc24_impl, crc._reverse_crc24_impl,
+             whitening._whiten_impl, aes._encrypt_impl, csa2._fast_enabled)
+    crc._crc24_impl = crc._crc24_bitwise
+    crc._reverse_crc24_impl = crc._reverse_crc24_bitwise
+    whitening._whiten_impl = whitening._whiten_bitwise
+    aes._encrypt_impl = aes._encrypt_reference
+    csa2._fast_enabled = False
+    try:
+        yield
+    finally:
+        (crc._crc24_impl, crc._reverse_crc24_impl,
+         whitening._whiten_impl, aes._encrypt_impl, csa2._fast_enabled) = saved

@@ -1,0 +1,130 @@
+"""Precomputed lookup tables for the codec fast paths.
+
+Every per-frame / per-event primitive of the reproduction reduces to a
+small GF(2)-linear machine: the CRC-24 LFSR, the whitening LFSR, CSA#2's
+byte-reverse permutation and AES's SubBytes∘MixColumns round function.
+Linearity means eight bit-steps collapse into one 256-entry table lookup,
+which is the classic optimisation real sniffer firmware applies (Ryan's
+CRC reversal, Cauquil's CSA#2 prediction).  All tables are built once at
+import from the same bit-level definitions the reference implementations
+use, so a table bug cannot hide from the differential tests.
+
+This module is a leaf: it imports nothing from :mod:`repro`.
+"""
+
+from __future__ import annotations
+
+#: The BLE CRC-24 polynomial x^24 + x^10 + x^9 + x^6 + x^4 + x^3 + x + 1,
+#: as a mask over the 24-bit LFSR state (exponents below 24).
+CRC24_POLY_MASK = 0x00065B
+
+
+def _build_rev8() -> bytes:
+    table = bytearray(256)
+    for value in range(256):
+        rev = 0
+        for bit in range(8):
+            rev |= ((value >> bit) & 1) << (7 - bit)
+        table[value] = rev
+    return bytes(table)
+
+
+#: ``REV8[b]`` is ``b`` with its 8 bits reversed (MSB <-> LSB).
+REV8 = _build_rev8()
+
+
+def _build_crc24_forward() -> tuple:
+    """Effect of one data byte on the CRC-24 LFSR, indexed by the XOR of
+    the state's top byte with the bit-reversed data byte.
+
+    Derivation: over 8 forward steps the feedback bits are exactly the
+    bits of ``(state >> 16) ^ REV8[byte]`` (MSB first) — the polynomial
+    taps sit below bit 11, so they cannot reach the top byte within 8
+    shifts.  The table entry is the cumulative feedback contribution.
+    """
+    table = []
+    for index in range(256):
+        state = index << 16
+        for _ in range(8):
+            fb = (state >> 23) & 1
+            state = (state << 1) & 0xFFFFFF
+            if fb:
+                state ^= CRC24_POLY_MASK
+        table.append(state)
+    return tuple(table)
+
+
+def _build_crc24_reverse() -> tuple:
+    """Effect of one data byte on the *backwards* CRC-24 LFSR, indexed by
+    the state's low byte (the mirror-image argument of the forward table:
+    backward feedback reads bit 0, and no higher bit can reach it within
+    8 right-shifts)."""
+    table = []
+    for index in range(256):
+        state = index
+        for _ in range(8):
+            fb = state & 1
+            if fb:
+                state ^= CRC24_POLY_MASK
+            state >>= 1
+            if fb:
+                state |= 1 << 23
+        table.append(state)
+    return tuple(table)
+
+
+#: Byte-wise CRC-24 step: ``state = ((state << 8) & 0xFFFFFF) ^
+#: CRC24_TABLE[(state >> 16) ^ REV8[byte]]``.
+CRC24_TABLE = _build_crc24_forward()
+
+#: Byte-wise reverse step (Ryan-2013 CRCInit recovery): ``state =
+#: (state >> 8) ^ CRC24_REVERSE_TABLE[state & 0xFF] ^ (REV8[byte] << 16)``.
+CRC24_REVERSE_TABLE = _build_crc24_reverse()
+
+
+# ----------------------------------------------------------------------
+# AES
+# ----------------------------------------------------------------------
+
+#: The AES S-box (FIPS-197 Figure 7).
+SBOX = bytes.fromhex(
+    "637c777bf26b6fc53001672bfed7ab76"
+    "ca82c97dfa5947f0add4a2af9ca472c0"
+    "b7fd9326363ff7cc34a5e5f171d83115"
+    "04c723c31896059a071280e2eb27b275"
+    "09832c1a1b6e5aa0523bd6b329e32f84"
+    "53d100ed20fcb15b6acbbe394a4c58cf"
+    "d0efaafb434d338545f9027f503c9fa8"
+    "51a3408f929d38f5bcb6da2110fff3d2"
+    "cd0c13ec5f974417c4a77e3d645d1973"
+    "60814fdc222a908846eeb814de5e0bdb"
+    "e0323a0a4906245cc2d3ac629195e479"
+    "e7c8376d8dd54ea96c56f4ea657aae08"
+    "ba78252e1ca6b4c6e8dd741f4bbd8b8a"
+    "703eb5664803f60e613557b986c11d9e"
+    "e1f8981169d98e949b1e87e9ce5528df"
+    "8ca1890dbfe6426841992d0fb054bb16"
+)
+
+
+def _build_aes_ttables() -> tuple:
+    """Combined SubBytes + MixColumns tables, one per state row.
+
+    ``TE0[x] .. TE3[x]`` hold the MixColumns output column (packed
+    big-endian, row 0 in the MSB) produced by an input byte ``x`` sitting
+    in rows 0..3 respectively, S-box already applied.
+    """
+    te0, te1, te2, te3 = [], [], [], []
+    for value in range(256):
+        s = SBOX[value]
+        x2 = (s << 1) ^ (0x11B if s & 0x80 else 0)
+        x2 &= 0xFF
+        x3 = x2 ^ s
+        te0.append((x2 << 24) | (s << 16) | (s << 8) | x3)
+        te1.append((x3 << 24) | (x2 << 16) | (s << 8) | s)
+        te2.append((s << 24) | (x3 << 16) | (x2 << 8) | s)
+        te3.append((s << 24) | (s << 16) | (x3 << 8) | x2)
+    return tuple(te0), tuple(te1), tuple(te2), tuple(te3)
+
+
+TE0, TE1, TE2, TE3 = _build_aes_ttables()

@@ -149,6 +149,9 @@ class ConnectionState:
         self.created_local_us = created_local_us
         self.event_count = 0
         self.selector = make_channel_selector(params)
+        # Hoisted out of channel_for_next_event: the selector kind is fixed
+        # for the lifetime of the connection.
+        self._selector_is_csa2 = isinstance(self.selector, Csa2)
         self.current_channel: Optional[int] = None
         # ARQ bits, per paper §III-B6.
         self.transmit_seq_num = 0
@@ -175,7 +178,7 @@ class ConnectionState:
         Must be called exactly once per connection event (including events
         the device skips or misses — the hop sequence advances regardless).
         """
-        if isinstance(self.selector, Csa2):
+        if self._selector_is_csa2:
             self.current_channel = self.selector.channel_for_event(self.event_count)
         else:
             self.current_channel = self.selector.next_channel()

@@ -8,16 +8,31 @@ is stateless in the event counter, which is why Cauquil's DEF CON 27 work
 generator is a PRNG keyed only by public values.
 
 Implemented per Core Spec v5.x Vol 6 Part B §4.5.8.3.
+
+Two execution strategies coexist:
+
+* the **fast path** (default) replaces the bit-reversal permutation with a
+  256-entry table and memoises the event→channel schedule per
+  ``(channel identifier, channel map)`` in 128-event blocks, shared
+  module-wide — Master, Slave and sniffer of one connection all read the
+  same schedule, so ``channel_for_event`` is an O(1) lookup;
+* the **reference path** (:meth:`Csa2.channel_for_event_reference`)
+  recomputes the three permutation/MAM rounds bit by bit, retained for
+  differential testing.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from typing import Dict, List, Tuple
+
 from repro.errors import LinkLayerError
+from repro.kernels.tables import REV8
 from repro.ll.csa1 import NUM_DATA_CHANNELS, channel_map_to_used
 
 
-def _perm(v: int) -> int:
-    """Bit-reverse each of the two bytes of a 16-bit value."""
+def _perm_reference(v: int) -> int:
+    """Bit-reverse each of the two bytes of a 16-bit value (bit-level)."""
     out = 0
     for byte_idx in range(2):
         byte = (v >> (8 * byte_idx)) & 0xFF
@@ -26,6 +41,11 @@ def _perm(v: int) -> int:
             rev |= ((byte >> bit) & 1) << (7 - bit)
         out |= rev << (8 * byte_idx)
     return out
+
+
+def _perm(v: int) -> int:
+    """Bit-reverse each of the two bytes of a 16-bit value (table-driven)."""
+    return REV8[v & 0xFF] | (REV8[v >> 8] << 8)
 
 
 def _mam(a: int, b: int) -> int:
@@ -46,6 +66,53 @@ def _prn_e(event_counter: int, ch_id: int) -> int:
     for _ in range(3):
         prn = _mam(_perm(prn), ch_id)
     return prn ^ ch_id
+
+
+def _prn_e_reference(event_counter: int, ch_id: int) -> int:
+    """Bit-level :func:`_prn_e`, retained for differential testing."""
+    prn = event_counter ^ ch_id
+    for _ in range(3):
+        prn = _mam(_perm_reference(prn), ch_id)
+    return prn ^ ch_id
+
+
+# ----------------------------------------------------------------------
+# Module-wide schedule cache
+# ----------------------------------------------------------------------
+
+#: Events per cached schedule block (event counters are 16-bit, so a fully
+#: populated schedule is 512 blocks).
+_BLOCK_BITS = 7
+_BLOCK = 1 << _BLOCK_BITS
+
+#: Distinct ``(channel identifier, channel map)`` schedules kept; evicted
+#: least-recently-created first.  64 covers many concurrent simulated
+#: connections while bounding memory at ~64 * 64 KiB of small ints.
+_MAX_SCHEDULES = 64
+
+_ScheduleBlocks = Dict[int, List[int]]
+_schedule_cache: "OrderedDict[Tuple[int, int], _ScheduleBlocks]" = OrderedDict()
+
+#: Module switch flipped by :func:`repro.kernels.reference_kernels`.
+_fast_enabled = True
+
+
+def _schedule_blocks(ch_id: int, channel_map: int) -> _ScheduleBlocks:
+    """The shared block store for one ``(ch_id, channel_map)`` schedule."""
+    key = (ch_id, channel_map)
+    blocks = _schedule_cache.get(key)
+    if blocks is None:
+        while len(_schedule_cache) >= _MAX_SCHEDULES:
+            _schedule_cache.popitem(last=False)
+        blocks = _schedule_cache[key] = {}
+    else:
+        _schedule_cache.move_to_end(key)
+    return blocks
+
+
+def clear_schedule_cache() -> None:
+    """Drop every memoised CSA#2 schedule (benchmarks and tests)."""
+    _schedule_cache.clear()
 
 
 class Csa2:
@@ -69,6 +136,7 @@ class Csa2:
         """Apply a (possibly updated) channel map."""
         self._channel_map = channel_map
         self._used = channel_map_to_used(channel_map)
+        self._blocks = _schedule_blocks(self._ch_id, channel_map)
 
     @property
     def channel_map(self) -> int:
@@ -79,9 +147,47 @@ class Csa2:
         """Data channel used at the given connection event counter."""
         if not 0 <= event_counter < 1 << 16:
             raise LinkLayerError(f"event counter out of range: {event_counter}")
-        prn_e = _prn_e(event_counter, self._ch_id)
+        if not _fast_enabled:
+            return self._channel_for_prn(
+                _prn_e_reference(event_counter, self._ch_id))
+        block = self._blocks.get(event_counter >> _BLOCK_BITS)
+        if block is None:
+            block = self._fill_block(event_counter >> _BLOCK_BITS)
+        return block[event_counter & (_BLOCK - 1)]
+
+    def channel_for_event_reference(self, event_counter: int) -> int:
+        """Bit-level, uncached :meth:`channel_for_event` (differential tests)."""
+        if not 0 <= event_counter < 1 << 16:
+            raise LinkLayerError(f"event counter out of range: {event_counter}")
+        return self._channel_for_prn(_prn_e_reference(event_counter, self._ch_id))
+
+    def _channel_for_prn(self, prn_e: int) -> int:
         unmapped = prn_e % NUM_DATA_CHANNELS
         if (self._channel_map >> unmapped) & 1:
             return unmapped
         remap_index = (len(self._used) * prn_e) >> 16
         return self._used[remap_index]
+
+    def _fill_block(self, block_index: int) -> List[int]:
+        """Compute one 128-event schedule block with the table kernels."""
+        ch_id = self._ch_id
+        channel_map = self._channel_map
+        used = self._used
+        n_used = len(used)
+        rev = REV8
+        base = block_index << _BLOCK_BITS
+        block = []
+        append = block.append
+        for event in range(base, base + _BLOCK):
+            prn = event ^ ch_id
+            for _ in range(3):
+                prn = ((rev[prn & 0xFF] | (rev[prn >> 8] << 8)) * 17
+                       + ch_id) & 0xFFFF
+            prn ^= ch_id
+            unmapped = prn % NUM_DATA_CHANNELS
+            if (channel_map >> unmapped) & 1:
+                append(unmapped)
+            else:
+                append(used[(n_used * prn) >> 16])
+        self._blocks[block_index] = block
+        return block

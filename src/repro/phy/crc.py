@@ -8,16 +8,79 @@ CRCInit value from the CONNECT_REQ on data channels.
 This module also implements the *reverse* CRC computation used by sniffers
 (Ryan 2013) to recover an unknown CRCInit from captured frames: the LFSR is
 run backwards from the observed CRC through the payload bits.
+
+Both directions have two implementations: a byte-wise table-driven fast
+path (the default, one 256-entry lookup per byte) and the original
+bit-level LFSR kept as the reference for differential testing —
+``crc24_reference`` / ``reverse_crc24_init_reference``.  Argument
+validation happens once per call, before any per-byte work.
 """
 
 from __future__ import annotations
 
 from repro.errors import CodecError
+from repro.kernels.tables import CRC24_REVERSE_TABLE, CRC24_TABLE, REV8
 
 #: CRCInit used on the advertising channels.
 ADVERTISING_CRC_INIT = 0x555555
 
 _POLY_TAPS = (0, 1, 3, 4, 6, 9, 10)  # exponents below 24 of the polynomial
+
+
+# ----------------------------------------------------------------------
+# Reference (bit-level) implementations
+# ----------------------------------------------------------------------
+
+def _crc24_bitwise(data: bytes, state: int) -> int:
+    for byte in data:
+        for bit in range(8):
+            fb = ((state >> 23) & 1) ^ ((byte >> bit) & 1)
+            state = (state << 1) & 0xFFFFFF
+            if fb:
+                for tap in _POLY_TAPS:
+                    state ^= 1 << tap
+    return state
+
+
+def _reverse_crc24_bitwise(data: bytes, state: int) -> int:
+    for byte in reversed(data):
+        for bit in reversed(range(8)):
+            # Forward step was: fb = msb ^ data_bit; state = (state<<1)|0 then
+            # xor taps if fb.  Reconstruct fb from the inverse of the taps.
+            fb = state & 1  # after shift, bit0 = fb from the x^0 tap (poly has +1)
+            if fb:
+                for tap in _POLY_TAPS:
+                    state ^= 1 << tap
+                # undo the shift-in of fb at bit 0 before shifting back
+            state >>= 1
+            if fb ^ ((byte >> bit) & 1):
+                state |= 1 << 23
+    return state
+
+
+# ----------------------------------------------------------------------
+# Table-driven fast paths (8 LFSR steps per lookup)
+# ----------------------------------------------------------------------
+
+def _crc24_table(data: bytes, state: int) -> int:
+    table = CRC24_TABLE
+    rev = REV8
+    for byte in data:
+        state = ((state << 8) & 0xFFFFFF) ^ table[(state >> 16) ^ rev[byte]]
+    return state
+
+
+def _reverse_crc24_table(data: bytes, state: int) -> int:
+    table = CRC24_REVERSE_TABLE
+    rev = REV8
+    for byte in reversed(data):
+        state = (state >> 8) ^ table[state & 0xFF] ^ (rev[byte] << 16)
+    return state
+
+
+#: Active kernels; :func:`repro.kernels.reference_kernels` swaps these.
+_crc24_impl = _crc24_table
+_reverse_crc24_impl = _reverse_crc24_table
 
 
 def crc24(data: bytes, crc_init: int) -> int:
@@ -28,15 +91,14 @@ def crc24(data: bytes, crc_init: int) -> int:
     """
     if not 0 <= crc_init < 1 << 24:
         raise CodecError(f"CRCInit out of range: {crc_init:#x}")
-    state = crc_init
-    for byte in data:
-        for bit in range(8):
-            fb = ((state >> 23) & 1) ^ ((byte >> bit) & 1)
-            state = (state << 1) & 0xFFFFFF
-            if fb:
-                for tap in _POLY_TAPS:
-                    state ^= 1 << tap
-    return state
+    return _crc24_impl(data, crc_init)
+
+
+def crc24_reference(data: bytes, crc_init: int) -> int:
+    """Bit-level :func:`crc24`, retained for differential testing."""
+    if not 0 <= crc_init < 1 << 24:
+        raise CodecError(f"CRCInit out of range: {crc_init:#x}")
+    return _crc24_bitwise(data, crc_init)
 
 
 def crc24_check(data: bytes, crc_value: int, crc_init: int) -> bool:
@@ -62,17 +124,11 @@ def reverse_crc24_init(data: bytes, crc_value: int) -> int:
     """
     if not 0 <= crc_value < 1 << 24:
         raise CodecError(f"CRC value out of range: {crc_value:#x}")
-    state = crc_value
-    for byte in reversed(data):
-        for bit in reversed(range(8)):
-            # Forward step was: fb = msb ^ data_bit; state = (state<<1)|0 then
-            # xor taps if fb.  Reconstruct fb from the inverse of the taps.
-            fb = state & 1  # after shift, bit0 = fb from the x^0 tap (poly has +1)
-            if fb:
-                for tap in _POLY_TAPS:
-                    state ^= 1 << tap
-                # undo the shift-in of fb at bit 0 before shifting back
-            state >>= 1
-            if fb ^ ((byte >> bit) & 1):
-                state |= 1 << 23
-    return state
+    return _reverse_crc24_impl(data, crc_value)
+
+
+def reverse_crc24_init_reference(data: bytes, crc_value: int) -> int:
+    """Bit-level :func:`reverse_crc24_init`, retained for differential testing."""
+    if not 0 <= crc_value < 1 << 24:
+        raise CodecError(f"CRC value out of range: {crc_value:#x}")
+    return _reverse_crc24_bitwise(data, crc_value)

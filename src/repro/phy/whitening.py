@@ -5,25 +5,31 @@ x^7 + x^4 + 1) seeded from the RF channel index, to avoid long runs of
 identical bits on air.  Whitening is an involution: applying it twice with
 the same channel restores the input, which is the property the sniffer
 relies on to de-whiten captured frames.
+
+The keystream depends only on the channel seed, and the 7-bit LFSR has
+period 127 bits, so each channel's stream repeats every 127 *bytes*
+(lcm(127, 8) / 8).  The fast path builds that 127-byte base once per
+channel and applies it with a single big-int XOR; the original per-bit
+LFSR is kept as ``whiten_reference`` for differential testing.
 """
 
 from __future__ import annotations
 
+from typing import List, Optional
+
 from repro.errors import CodecError
 
+#: Number of RF channels a whitening seed exists for.
+_NUM_CHANNELS = 40
 
-def whiten(data: bytes, channel_index: int) -> bytes:
-    """Whiten (or de-whiten) ``data`` for transmission on ``channel_index``.
+#: Byte period of the whitening keystream: lcm(127 bits, 8) / 8.
+_KEYSTREAM_PERIOD = 127
 
-    Args:
-        data: the PDU+CRC bytes as transmitted least-significant-bit first.
-        channel_index: RF channel (0-39) used to seed the LFSR.
+#: Lazily-built 127-byte keystream base per channel.
+_KEYSTREAMS: List[Optional[bytes]] = [None] * _NUM_CHANNELS
 
-    Returns:
-        The whitened bytes; applying the function twice is the identity.
-    """
-    if not 0 <= channel_index < 40:
-        raise CodecError(f"invalid channel index for whitening: {channel_index}")
+
+def _whiten_bitwise(data: bytes, channel_index: int) -> bytes:
     # Register bits: position 6 (MSB) .. 0; seeded with 1 then the channel
     # index in positions 5..0, per Core Spec Vol 6 Part B §3.2.
     lfsr = 0x40 | channel_index
@@ -40,3 +46,51 @@ def whiten(data: bytes, channel_index: int) -> bytes:
             result |= (((byte >> bit) & 1) ^ white_bit) << bit
         out[i] = result
     return bytes(out)
+
+
+def _keystream_base(channel_index: int) -> bytes:
+    """The channel's 127-byte keystream period (built once, cached)."""
+    base = _KEYSTREAMS[channel_index]
+    if base is None:
+        # One full period of the LFSR output, as the XOR mask a zero input
+        # would produce — i.e. the keystream itself.
+        base = _whiten_bitwise(bytes(_KEYSTREAM_PERIOD), channel_index)
+        _KEYSTREAMS[channel_index] = base
+    return base
+
+
+def _whiten_table(data: bytes, channel_index: int) -> bytes:
+    n = len(data)
+    if n == 0:
+        return b""
+    keystream = _keystream_base(channel_index)
+    if n > _KEYSTREAM_PERIOD:
+        keystream = keystream * ((n + _KEYSTREAM_PERIOD - 1) // _KEYSTREAM_PERIOD)
+    mask = int.from_bytes(keystream[:n], "little")
+    return (int.from_bytes(data, "little") ^ mask).to_bytes(n, "little")
+
+
+#: Active kernel; :func:`repro.kernels.reference_kernels` swaps it.
+_whiten_impl = _whiten_table
+
+
+def whiten(data: bytes, channel_index: int) -> bytes:
+    """Whiten (or de-whiten) ``data`` for transmission on ``channel_index``.
+
+    Args:
+        data: the PDU+CRC bytes as transmitted least-significant-bit first.
+        channel_index: RF channel (0-39) used to seed the LFSR.
+
+    Returns:
+        The whitened bytes; applying the function twice is the identity.
+    """
+    if not 0 <= channel_index < _NUM_CHANNELS:
+        raise CodecError(f"invalid channel index for whitening: {channel_index}")
+    return _whiten_impl(data, channel_index)
+
+
+def whiten_reference(data: bytes, channel_index: int) -> bytes:
+    """Bit-level :func:`whiten`, retained for differential testing."""
+    if not 0 <= channel_index < _NUM_CHANNELS:
+        raise CodecError(f"invalid channel index for whitening: {channel_index}")
+    return _whiten_bitwise(data, channel_index)

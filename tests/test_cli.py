@@ -16,6 +16,16 @@ class TestParser:
             ["scenario", "b", "--device", "keyfob"])
         assert args.which == "b" and args.device == "keyfob"
 
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile", "hop"])
+        assert args.which == "hop"
+        assert args.connections == 2
+        assert args.top == 20
+
+    def test_profile_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "frobnicate"])
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
@@ -46,6 +56,13 @@ class TestCommands:
         assert code == 0
         assert "CONNECT_REQ" in out
         assert "frames captured" in out
+
+    def test_profile_prints_cumulative_hot_paths(self, capsys):
+        code = main(["profile", "hop", "--connections", "1", "--top", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Ordered by: cumulative time" in out
+        assert "run_single_trial" in out or "run_trials" in out
 
     def test_crack(self, capsys):
         code = main(["crack", "--seed", "90"])
