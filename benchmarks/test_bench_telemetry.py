@@ -1,0 +1,117 @@
+"""PERF-2 — telemetry must be (nearly) free when disabled.
+
+The metrics instrumentation is compiled into the medium/sniffer/injector
+hot paths permanently; only ``MetricsRegistry.enabled`` decides whether
+call sites pay.  This guard re-times the PERF-1 trial workload (telemetry
+off, the default) and compares against the ``BENCH_runner.json``
+trajectory recorded *before* the instrumentation existed: throughput on
+the same machine class must stay within 2%.
+
+A second A/B measurement times the identical workload with metrics *on*
+to record (and loosely bound) the enabled-path cost.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import InjectionTrial
+from repro.runner import execute_trials, merge_trial_metrics
+
+#: The PERF-1 trajectory this guard compares against.
+BENCH_FILE = Path(__file__).parent.parent / "BENCH_runner.json"
+
+#: Same fixed workload as PERF-1 (8 worlds, E2 hop interval).
+PERF_SEEDS = tuple(9_000 + i for i in range(8))
+
+#: Allowed telemetry-disabled throughput regression vs the baseline.
+DISABLED_TOLERANCE = 0.02
+
+#: Loose ceiling on the metrics-enabled overhead (counters only cost a
+#: guard + an attribute increment per frame; anything past this is a bug).
+ENABLED_OVERHEAD_CEILING = 0.25
+
+#: Timing repetitions; the median damps scheduler noise.
+ROUNDS = 3
+
+
+def _workload(collect_metrics: bool) -> list[InjectionTrial]:
+    return [InjectionTrial(seed=seed, hop_interval=75,
+                           collect_metrics=collect_metrics)
+            for seed in PERF_SEEDS]
+
+
+def _time_serial(trials) -> float:
+    """Median wall-clock seconds for the serial workload."""
+    timings = []
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        results = execute_trials(trials, jobs=1, cache=None)
+        timings.append(time.perf_counter() - start)
+        assert all(r.success for r in results)
+    return statistics.median(timings)
+
+
+def _baseline_trials_per_sec(cpu_count: int):
+    """Best recorded serial throughput for this machine class, or None."""
+    try:
+        runs = json.loads(BENCH_FILE.read_text())["runs"]
+    except (OSError, ValueError, KeyError):
+        return None
+    comparable = [run["trials_per_sec_serial"] for run in runs
+                  if run.get("cpu_count") == cpu_count
+                  and run.get("n_trials") == len(PERF_SEEDS)]
+    return max(comparable) if comparable else None
+
+
+@pytest.mark.benchmark(group="perf")
+def test_disabled_telemetry_is_free(benchmark, results_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    disabled_s = _time_serial(_workload(collect_metrics=False))
+    enabled_s = _time_serial(_workload(collect_metrics=True))
+    disabled_tps = len(PERF_SEEDS) / disabled_s
+    enabled_tps = len(PERF_SEEDS) / enabled_s
+    overhead = enabled_s / disabled_s - 1.0
+
+    # The enabled path must actually produce telemetry (guards real data,
+    # not a workload that silently stopped instrumenting anything).
+    merged = merge_trial_metrics(
+        execute_trials(_workload(collect_metrics=True), jobs=1, cache=None))
+    assert merged["counters"]["medium.tx"] > 0
+
+    cpus = os.cpu_count() or 1
+    baseline_tps = _baseline_trials_per_sec(cpus)
+    record = {
+        "utc": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "cpu_count": cpus,
+        "n_trials": len(PERF_SEEDS),
+        "disabled_trials_per_sec": round(disabled_tps, 3),
+        "enabled_trials_per_sec": round(enabled_tps, 3),
+        "enabled_overhead": round(overhead, 4),
+        "baseline_trials_per_sec": baseline_tps,
+    }
+    summary = "\n".join(
+        ["PERF-2 — telemetry overhead"]
+        + [f"  {key:>26}: {value}" for key, value in record.items()]
+    )
+    print("\n" + summary)
+    (results_dir / "perf_telemetry.txt").write_text(summary + "\n")
+
+    assert overhead < ENABLED_OVERHEAD_CEILING, (
+        f"metrics-enabled runs cost {overhead:.1%}, expected "
+        f"< {ENABLED_OVERHEAD_CEILING:.0%}")
+    if baseline_tps is None:
+        pytest.skip(f"no {cpus}-core baseline in {BENCH_FILE.name}; "
+                    f"recorded measurements only")
+    assert disabled_tps >= (1.0 - DISABLED_TOLERANCE) * baseline_tps, (
+        f"telemetry-disabled throughput {disabled_tps:.2f} trials/s fell "
+        f"more than {DISABLED_TOLERANCE:.0%} below the pre-telemetry "
+        f"baseline {baseline_tps:.2f} trials/s")

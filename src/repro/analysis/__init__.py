@@ -1,6 +1,16 @@
 """Statistics and text rendering for experiment results."""
 
 from repro.analysis.stats import BoxStats, box_stats
-from repro.analysis.reporting import render_distribution_table, render_series
+from repro.analysis.reporting import (
+    render_distribution_table,
+    render_metrics_table,
+    render_series,
+)
 
-__all__ = ["BoxStats", "box_stats", "render_distribution_table", "render_series"]
+__all__ = [
+    "BoxStats",
+    "box_stats",
+    "render_distribution_table",
+    "render_metrics_table",
+    "render_series",
+]

@@ -46,3 +46,33 @@ def render_series(title: str, rows: Sequence[tuple]) -> str:
         key, *rest = row
         lines.append(f"{str(key):>24} : " + "  ".join(str(v) for v in rest))
     return "\n".join(lines)
+
+
+def render_metrics_table(title: str, snapshot: Mapping) -> str:
+    """Render a telemetry snapshot (or merge of snapshots) as text.
+
+    Args:
+        title: table caption.
+        snapshot: a :meth:`~repro.telemetry.metrics.MetricsRegistry.snapshot`
+            dict — ``counters`` name → value, ``gauges`` name → value,
+            ``histograms`` name → ``{"buckets", "counts", "sum", "count"}``.
+    """
+    lines = [title, "=" * len(title)]
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    for name in sorted(counters):
+        lines.append(f"{name:>32} : {counters[name]}")
+    for name in sorted(gauges):
+        lines.append(f"{name:>32} : {gauges[name]:g} (gauge)")
+    for name in sorted(histograms):
+        hist = histograms[name]
+        count = hist["count"]
+        mean = hist["sum"] / count if count else 0.0
+        lines.append(
+            f"{name:>32} : n={count} mean={mean:.2f} "
+            f"sum={hist['sum']:g}"
+        )
+    if len(lines) == 2:
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)

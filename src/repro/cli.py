@@ -5,6 +5,8 @@ Exposes the reproduction's main entry points without writing a script::
     repro experiment hop --connections 10
     repro scenario b --device keyfob
     repro capture --duration 2
+    repro capture --format pcap --scenario a --output run.pcap
+    repro metrics hop --jobs 4
     repro crack
 
 Each subcommand builds a deterministic world from ``--seed``, runs it, and
@@ -64,8 +66,8 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
-def _cmd_capture(args: argparse.Namespace) -> int:
-    from repro.analysis.packets import PacketCapture
+def _capture_benign_world(args: argparse.Namespace, attach) -> None:
+    """The historical capture world: bulb + phone, one write, no attacker."""
     from repro.devices import Lightbulb, Smartphone
     from repro.sim.medium import Medium
     from repro.sim.simulator import Simulator
@@ -76,7 +78,7 @@ def _cmd_capture(args: argparse.Namespace) -> int:
     topo.place("bulb", 0.0, 0.0)
     topo.place("phone", 2.0, 0.0)
     medium = Medium(sim, topo)
-    capture = PacketCapture(medium)
+    attach(sim, medium)
     bulb = Lightbulb(sim, medium, "bulb")
     phone = Smartphone(sim, medium, "phone", interval=36)
     bulb.power_on()
@@ -85,9 +87,75 @@ def _cmd_capture(args: argparse.Namespace) -> int:
     ctrl = bulb.gatt.find_characteristic(0xFF11).value_handle
     phone.gatt.write(ctrl, Lightbulb.power_payload(False))
     sim.run(until_us=args.duration * 1_000_000)
-    print(capture.render(limit=args.limit))
-    print(f"\n{len(capture)} frames captured over "
-          f"{args.duration:.1f} s (showing up to {args.limit})")
+
+
+def _cmd_capture(args: argparse.Namespace) -> int:
+    from repro.analysis.packets import PacketCapture
+    from repro.telemetry.capture import FrameRecorder
+
+    observers: dict = {}
+
+    def attach(sim, medium):
+        observers["recorder"] = FrameRecorder(medium)
+        if args.format == "text":
+            observers["capture"] = PacketCapture(medium)
+
+    if args.scenario:
+        from repro.experiments.scenarios import DEVICES, SCENARIOS
+
+        scenario_keys = {"a": "A (use feature)", "b": "B (slave hijack)",
+                         "c": "C (master hijack)", "d": "D (MitM)"}
+        device_keys = {"bulb": "lightbulb", "keyfob": "keyfob",
+                       "watch": "smartwatch"}
+        runner = SCENARIOS[scenario_keys[args.scenario]]
+        ok, attempts = runner(DEVICES[device_keys[args.device]], args.seed,
+                              world_hook=attach)
+        print(f"scenario {args.scenario.upper()} vs {args.device}: "
+              f"{'OK' if ok else 'FAILED'} ({attempts} attempt(s))")
+    else:
+        _capture_benign_world(args, attach)
+
+    recorder = observers["recorder"]
+    if args.format == "text":
+        print(observers["capture"].render(limit=args.limit))
+        print(f"\n{len(recorder)} frames captured "
+              f"(showing up to {args.limit})")
+        return 0
+    output = args.output or f"capture.{args.format}"
+    if args.format == "pcap":
+        written = recorder.write_pcap(output)
+    else:
+        written = recorder.write_jsonl(output)
+    print(f"wrote {written} frame(s) to {output} ({args.format})")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import render_metrics_table
+    from repro.experiments import (
+        run_experiment_distance,
+        run_experiment_hop_interval,
+        run_experiment_payload_size,
+        run_experiment_wall,
+    )
+    from repro.runner import merge_trial_metrics
+
+    runners = {
+        "hop": run_experiment_hop_interval,
+        "payload": run_experiment_payload_size,
+        "distance": run_experiment_distance,
+        "wall": run_experiment_wall,
+    }
+    runner = runners[args.which]
+    # Uncached on purpose: the point is a fresh, instrumented run whose
+    # aggregate is reproducible for any --jobs value.
+    results = runner(base_seed=args.seed, n_connections=args.connections,
+                     jobs=args.jobs, cache=False, collect_metrics=True)
+    flat = [trial for trials in results.values() for trial in trials]
+    merged = merge_trial_metrics(flat)
+    print(render_metrics_table(
+        f"Telemetry — {args.which} ({len(flat)} trials, seed {args.seed})",
+        merged))
     return 0
 
 
@@ -218,13 +286,40 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.set_defaults(func=_cmd_scenario)
 
     capture = sub.add_parser("capture",
-                             help="dissect simulated air traffic")
+                             help="dissect or export simulated air traffic")
     capture.add_argument("--seed", type=int, default=7)
     capture.add_argument("--duration", type=float, default=2.0,
-                         help="simulated seconds")
+                         help="simulated seconds (benign world only)")
     capture.add_argument("--limit", type=int, default=80,
-                         help="max packets to print")
+                         help="max packets to print (text format)")
+    capture.add_argument("--format", choices=("text", "jsonl", "pcap"),
+                         default="text",
+                         help="text dissection, JSONL frame log, or "
+                              "Wireshark-compatible Nordic BLE pcap")
+    capture.add_argument("--output", default=None,
+                         help="destination file for jsonl/pcap "
+                              "(default: capture.<format>)")
+    capture.add_argument("--scenario", choices=("a", "b", "c", "d"),
+                         default=None,
+                         help="capture an attack scenario run instead of "
+                              "the benign bulb+phone world")
+    capture.add_argument("--device", choices=("bulb", "keyfob", "watch"),
+                         default="bulb",
+                         help="victim device for --scenario captures")
     capture.set_defaults(func=_cmd_capture)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run an instrumented sweep and print merged telemetry")
+    metrics.add_argument("which",
+                         choices=("hop", "payload", "distance", "wall"))
+    metrics.add_argument("--connections", type=int, default=5)
+    metrics.add_argument("--seed", type=int, default=1)
+    metrics.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default: $REPRO_JOBS or 1; "
+                              "0 = all cores); the aggregate is identical "
+                              "for any value")
+    metrics.set_defaults(func=_cmd_metrics)
 
     crack = sub.add_parser("crack",
                            help="sniff a pairing and recover the keys")

@@ -63,6 +63,7 @@ class Attacker:
                                                int]] = None
         self._events_followed = 0
         self.sniffer.on_event = self._on_sniffed_event
+        self._m_sessions = sim.metrics.counter("attacker.inject_sessions")
 
     # ------------------------------------------------------------------
     # Synchronisation
@@ -115,6 +116,8 @@ class Attacker:
         conn = self.connection
         if conn is None:
             raise AttackError("not synchronised with any connection")
+        if self.sim.metrics.enabled:
+            self._m_sessions.inc()
         callback = on_done if on_done is not None else (lambda _report: None)
         stale = (
             not self.sniffer.following

@@ -140,6 +140,14 @@ class Injector:
         self.sim = sim
         self.radio = radio
         self.config = config if config is not None else InjectionConfig()
+        metrics = sim.metrics
+        self._metrics = metrics
+        self._m_attempts = metrics.counter("inject.attempts")
+        self._m_success = metrics.counter("inject.success")
+        self._m_failure = metrics.counter("inject.failure")
+        self._m_attempts_to_success = metrics.histogram(
+            "inject.attempts_to_success",
+            buckets=(1, 2, 3, 5, 8, 13, 21, 34, 55, 100))
         self.conn: Optional[SniffedConnection] = None
         self._events: list[Event] = []
         self._phase = _Phase.IDLE
@@ -262,6 +270,8 @@ class Injector:
         frame = self.radio.transmit(conn.params.access_address, pdu_bytes,
                                     crc, channel, phy=conn.phy)
         self._report.attempts += 1
+        if self._metrics.enabled:
+            self._m_attempts.inc()
         self._attempt = AttemptRecord(
             attempt_number=self._report.attempts,
             event_count=conn.event_count,
@@ -429,6 +439,12 @@ class Injector:
             event.cancel()
         self._events.clear()
         report = self._report
+        if self._metrics.enabled:
+            if outcome is InjectionOutcome.SUCCESS:
+                self._m_success.inc()
+                self._m_attempts_to_success.observe(report.attempts)
+            else:
+                self._m_failure.inc()
         self.sim.trace.record(self.sim.now, self.radio.name,
                               "injection-finished",
                               outcome=outcome.value,

@@ -130,6 +130,17 @@ class ConnectionSniffer:
         self._recovered_interval: Optional[int] = None
         self.following = False
         self.paused = False
+        metrics = sim.metrics
+        self._metrics = metrics
+        self._m_events = metrics.counter("sniffer.events")
+        self._m_missed = metrics.counter("sniffer.missed_events")
+        self._m_anchors = metrics.counter("sniffer.anchors")
+        #: Observed-minus-predicted anchor time: the drift the window
+        #: widening has to absorb (paper eq. 5) — negative = frame early.
+        self._m_drift = metrics.histogram(
+            "sniffer.anchor_drift_us",
+            buckets=(-200.0, -100.0, -50.0, -20.0, -10.0, -5.0, -2.0, 0.0,
+                     2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0))
 
     # ------------------------------------------------------------------
     # Scheduling helpers
@@ -350,6 +361,13 @@ class ConnectionSniffer:
         if current is None:
             return
         if current.anchor_us is None:
+            if self._metrics.enabled:
+                self._m_anchors.inc()
+                try:
+                    self._m_drift.observe(
+                        frame.start_us - conn.predicted_anchor_us())
+                except SnifferError:
+                    pass  # first anchor: nothing predicted yet
             current.anchor_us = frame.start_us
             current.master_frame_end_us = frame.end_us
             conn.note_anchor(frame.start_us)
@@ -397,6 +415,10 @@ class ConnectionSniffer:
             return
         current = self._current
         if current is not None:
+            if self._metrics.enabled:
+                self._m_events.inc()
+                if current.anchor_us is None:
+                    self._m_missed.inc()
             if current.anchor_us is None:
                 self._silent_events += 1
             else:

@@ -84,6 +84,18 @@ class LinkLayerIds:
         self.alerts: list[IdsAlert] = []
         self._models: dict[int, _ConnectionModel] = {}
         self._active: list[RadioFrame] = []
+        metrics = sim.metrics
+        self._metrics = metrics
+        self._m_frames = metrics.counter("ids.frames_seen")
+        self._m_alerts = {
+            kind: metrics.counter(f"ids.alerts.{kind}")
+            for kind in ("double-frame", "anchor-anomaly", "jamming")
+        }
+        #: Slave response latency after the event-opening frame — the
+        #: BLEKeeper-style response-*time* telemetry MITM relays distort.
+        self._m_response_delay = metrics.histogram(
+            "ids.response_delay_us",
+            buckets=(100.0, 150.0, 200.0, 300.0, 500.0, 1_000.0, 2_000.0))
         medium.add_tap(self._on_frame_start)
 
     # ------------------------------------------------------------------
@@ -93,6 +105,8 @@ class LinkLayerIds:
     def _on_frame_start(self, frame: RadioFrame) -> None:
         self._active = [f for f in self._active if f.end_us > frame.start_us]
         if frame.access_address != ADVERTISING_ACCESS_ADDRESS:
+            if self._metrics.enabled:
+                self._m_frames.inc()
             self._check_overlaps(frame)
             self._update_model(frame)
         self._active.append(frame)
@@ -132,6 +146,9 @@ class LinkLayerIds:
             self._scan_for_procedures(frame, model)
         else:
             model.frames_in_event += 1
+            if model.frames_in_event == 2 and self._metrics.enabled:
+                self._m_response_delay.observe(
+                    frame.start_us - model.last_frame_end_us)
         model.last_frame_end_us = frame.end_us
 
     def _scan_for_procedures(self, frame: RadioFrame,
@@ -190,6 +207,12 @@ class LinkLayerIds:
     def _alert(self, kind: str, access_address: int, detail: str) -> None:
         alert = IdsAlert(self.sim.now, kind, access_address, detail)
         self.alerts.append(alert)
+        if self._metrics.enabled:
+            counter = self._m_alerts.get(kind)
+            if counter is None:
+                counter = self._m_alerts[kind] = \
+                    self._metrics.counter(f"ids.alerts.{kind}")
+            counter.inc()
         self.sim.trace.record(self.sim.now, "ids", f"ids-{kind}",
                               aa=access_address, detail=detail)
 

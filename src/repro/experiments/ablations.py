@@ -43,6 +43,7 @@ def run_widening_ablation(
     scales: tuple[float, ...] = WIDENING_SCALES,
     jobs: Optional[int] = None,
     cache=None,
+    collect_metrics: bool = False,
 ) -> Mapping[float, list[TrialResult]]:
     """ABL-1: sweep the Slave's widening reduction."""
     results = {}
@@ -52,6 +53,7 @@ def run_widening_ablation(
             n_connections,
             lambda seed, s=scale: InjectionTrial(
                 seed=seed, hop_interval=75, pdu_len=14, widening_scale=s,
+                collect_metrics=collect_metrics,
             ),
             jobs=jobs, cache=cache,
         )
@@ -75,13 +77,15 @@ class EncryptionAblationResult:
 
 def run_encryption_ablation(base_seed: int = 6, n_connections: int = 15,
                             jobs: Optional[int] = None, cache=None,
+                            collect_metrics: bool = False,
                             ) -> list[EncryptionAblationResult]:
     """ABL-2: inject into encrypted connections."""
     from repro.runner import execute_trials
 
     trials = [
         InjectionTrial(seed=base_seed * 10_000 + i, hop_interval=75,
-                       pdu_len=14, encrypted=True)
+                       pdu_len=14, encrypted=True,
+                       collect_metrics=collect_metrics)
         for i in range(n_connections)
     ]
     return [

@@ -31,6 +31,11 @@ CONNECTIONS_PER_CONFIG = 25
 #: Hard wall-clock cap per trial (simulated µs).
 TRIAL_DEADLINE_US = 120_000_000.0
 
+#: Ring-buffer bound on the in-memory trace of experiment worlds: long
+#: campaigns keep the newest records instead of growing without bound
+#: (attach a streaming JSONL sink for full history).
+TRACE_RING_RECORDS = 100_000
+
 
 @dataclass(frozen=True)
 class InjectionTrial:
@@ -52,6 +57,9 @@ class InjectionTrial:
         encrypted: pair-and-encrypt the victim connection before injecting
             (countermeasure ablation; injection then cannot produce valid
             traffic).
+        collect_metrics: run the world with the
+            :class:`~repro.telemetry.metrics.MetricsRegistry` enabled and
+            ship its snapshot back in :attr:`TrialResult.metrics`.
     """
 
     seed: int
@@ -63,6 +71,7 @@ class InjectionTrial:
     slave_sca_ppm: float = 50.0
     widening_scale: float = 1.0
     encrypted: bool = False
+    collect_metrics: bool = False
 
 
 @dataclass
@@ -78,6 +87,9 @@ class TrialResult:
         connection_survived: both victims still consider the connection
             alive after the attack (challenge C2).
         report: raw injection report.
+        metrics: the world's merged metrics snapshot (see
+            :meth:`repro.telemetry.metrics.MetricsRegistry.snapshot`) when
+            the trial ran with ``collect_metrics=True``, else ``None``.
     """
 
     success: bool
@@ -85,6 +97,7 @@ class TrialResult:
     effect_observed: bool = False
     connection_survived: bool = False
     report: Optional[InjectionReport] = None
+    metrics: Optional[dict] = None
 
 
 def build_injection_payload(pdu_len: int, control_handle: int
@@ -147,7 +160,9 @@ def _build_topology(trial: InjectionTrial) -> Topology:
 
 def run_single_trial(trial: InjectionTrial) -> TrialResult:
     """Run one connection + injection and measure attempts-to-success."""
-    sim = Simulator(seed=trial.seed, trace_enabled=False)
+    sim = Simulator(seed=trial.seed, trace_enabled=False,
+                    trace_max_records=TRACE_RING_RECORDS,
+                    metrics_enabled=trial.collect_metrics)
     topo = _build_topology(trial)
     medium = Medium(sim, topo)
     bulb = Lightbulb(sim, medium, "peripheral", sca_ppm=trial.slave_sca_ppm)
@@ -171,8 +186,12 @@ def run_single_trial(trial: InjectionTrial) -> TrialResult:
     if trial.encrypted:
         central_host.pair(encrypt=True)
         sim.run(until_us=4_000_000)
+
+    def snapshot() -> Optional[dict]:
+        return sim.metrics.snapshot() if trial.collect_metrics else None
+
     if not attacker.synchronized:
-        return TrialResult(success=False, attempts=0)
+        return TrialResult(success=False, attempts=0, metrics=snapshot())
 
     handle = bulb.gatt.find_characteristic(0xFF11).value_handle
     payload, llid = build_injection_payload(trial.pdu_len, handle)
@@ -180,7 +199,7 @@ def run_single_trial(trial: InjectionTrial) -> TrialResult:
     attacker.inject(payload, llid, on_done=reports.append)
     sim.run(until_us=TRIAL_DEADLINE_US)
     if not reports:
-        return TrialResult(success=False, attempts=0)
+        return TrialResult(success=False, attempts=0, metrics=snapshot())
     report = reports[0]
     sim.run(until_us=sim.now + 2_000_000)  # let effects propagate
     if trial.pdu_len == 4:
@@ -195,6 +214,7 @@ def run_single_trial(trial: InjectionTrial) -> TrialResult:
         effect_observed=effect,
         connection_survived=survived,
         report=report,
+        metrics=snapshot(),
     )
 
 

@@ -42,6 +42,7 @@ def run_experiment_distance(
     positions: Mapping[str, float] = None,
     jobs: Optional[int] = None,
     cache=None,
+    collect_metrics: bool = False,
 ) -> Mapping[str, list[TrialResult]]:
     """Run the distance sweep; returns results per position label."""
     if positions is None:
@@ -54,6 +55,7 @@ def run_experiment_distance(
             lambda seed, d=distance: InjectionTrial(
                 seed=seed, hop_interval=EXPERIMENT_HOP_INTERVAL,
                 pdu_len=EXPERIMENT_PDU_LEN, attacker_distance_m=d,
+                collect_metrics=collect_metrics,
             ),
             jobs=jobs, cache=cache,
         )

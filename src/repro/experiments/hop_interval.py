@@ -31,6 +31,7 @@ def run_experiment_hop_interval(
     hop_intervals: tuple[int, ...] = HOP_INTERVALS,
     jobs: Optional[int] = None,
     cache=None,
+    collect_metrics: bool = False,
 ) -> Mapping[int, list[TrialResult]]:
     """Run the hop-interval sweep; returns results per interval."""
     results = {}
@@ -40,7 +41,7 @@ def run_experiment_hop_interval(
             n_connections,
             lambda seed, h=hop: InjectionTrial(
                 seed=seed, hop_interval=h, pdu_len=EXPERIMENT_PDU_LEN,
-                attacker_distance_m=2.0,
+                attacker_distance_m=2.0, collect_metrics=collect_metrics,
             ),
             jobs=jobs, cache=cache,
         )

@@ -32,6 +32,7 @@ def run_experiment_payload_size(
     payload_sizes: tuple[int, ...] = PAYLOAD_SIZES,
     jobs: Optional[int] = None,
     cache=None,
+    collect_metrics: bool = False,
 ) -> Mapping[int, list[TrialResult]]:
     """Run the payload-size sweep; returns results per PDU length."""
     results = {}
@@ -41,7 +42,7 @@ def run_experiment_payload_size(
             n_connections,
             lambda seed, s=size: InjectionTrial(
                 seed=seed, hop_interval=EXPERIMENT_HOP_INTERVAL, pdu_len=s,
-                attacker_distance_m=2.0,
+                attacker_distance_m=2.0, collect_metrics=collect_metrics,
             ),
             jobs=jobs, cache=cache,
         )

@@ -36,11 +36,20 @@ DEVICES = {
 }
 
 
-def build_world(device_cls, seed: int):
-    """Victim + phone + synchronised attacker, connection established."""
+def build_world(device_cls, seed: int, world_hook: Optional[Callable] = None):
+    """Victim + phone + synchronised attacker, connection established.
+
+    ``world_hook(sim, medium)``, if given, runs before any device exists —
+    the spot to attach observers such as a
+    :class:`~repro.telemetry.capture.FrameRecorder` so they see the whole
+    exchange from the first advertisement (and thus learn the CONNECT_REQ's
+    CRCInit for CRC validation).
+    """
     sim = Simulator(seed=seed, trace_enabled=False)
     topo = Topology.equilateral_triangle(("victim", "phone", "attacker"))
     medium = Medium(sim, topo)
+    if world_hook is not None:
+        world_hook(sim, medium)
     victim = device_cls(sim, medium, "victim")
     victim.ll.readvertise_on_disconnect = False
     phone = Smartphone(sim, medium, "phone", interval=36)
@@ -67,9 +76,10 @@ def feature_write(victim):
             lambda: bool(victim.inbox))
 
 
-def run_scenario_a(device_cls, seed: int) -> tuple[bool, int]:
+def run_scenario_a(device_cls, seed: int,
+                   world_hook: Optional[Callable] = None) -> tuple[bool, int]:
     """Scenario A: inject a feature-triggering ATT request."""
-    sim, victim, phone, attacker = build_world(device_cls, seed)
+    sim, victim, phone, attacker = build_world(device_cls, seed, world_hook)
     handle, value, check = feature_write(victim)
     results = []
     IllegitimateUseScenario(attacker).inject_write(handle, value,
@@ -79,9 +89,10 @@ def run_scenario_a(device_cls, seed: int) -> tuple[bool, int]:
     return ok, results[0].report.attempts if results else 0
 
 
-def run_scenario_b(device_cls, seed: int) -> tuple[bool, int]:
+def run_scenario_b(device_cls, seed: int,
+                   world_hook: Optional[Callable] = None) -> tuple[bool, int]:
     """Scenario B: terminate + impersonate; verify the spoofed name."""
-    sim, victim, phone, attacker = build_world(device_cls, seed)
+    sim, victim, phone, attacker = build_world(device_cls, seed, world_hook)
     results = []
     SlaveHijackScenario(attacker, gatt_server=hacked_gatt_server("Hacked")
                         ).run(on_done=results.append)
@@ -97,9 +108,10 @@ def run_scenario_b(device_cls, seed: int) -> tuple[bool, int]:
     return ok, results[0].report.attempts
 
 
-def run_scenario_c(device_cls, seed: int) -> tuple[bool, int]:
+def run_scenario_c(device_cls, seed: int,
+                   world_hook: Optional[Callable] = None) -> tuple[bool, int]:
     """Scenario C: forged update takeover; verify the attacker drives."""
-    sim, victim, phone, attacker = build_world(device_cls, seed)
+    sim, victim, phone, attacker = build_world(device_cls, seed, world_hook)
     results = []
     MasterHijackScenario(attacker, instant_delta=40).run(
         on_done=results.append)
@@ -113,9 +125,10 @@ def run_scenario_c(device_cls, seed: int) -> tuple[bool, int]:
     return ok, results[0].report.attempts
 
 
-def run_scenario_d(device_cls, seed: int) -> tuple[bool, int]:
+def run_scenario_d(device_cls, seed: int,
+                   world_hook: Optional[Callable] = None) -> tuple[bool, int]:
     """Scenario D: MitM; verify on-the-fly mutation of relayed writes."""
-    sim, victim, phone, attacker = build_world(device_cls, seed)
+    sim, victim, phone, attacker = build_world(device_cls, seed, world_hook)
 
     def mutate(frame):
         try:

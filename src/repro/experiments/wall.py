@@ -34,6 +34,7 @@ def run_experiment_wall(
     wall_attenuation_db: float = WALL_ATTENUATION_DB,
     jobs: Optional[int] = None,
     cache=None,
+    collect_metrics: bool = False,
 ) -> Mapping[float, list[TrialResult]]:
     """Run the behind-a-wall sweep; returns results per distance."""
     results = {}
@@ -45,6 +46,7 @@ def run_experiment_wall(
                 seed=seed, hop_interval=EXPERIMENT_HOP_INTERVAL,
                 pdu_len=EXPERIMENT_PDU_LEN, attacker_distance_m=d,
                 wall_attenuation_db=wall_attenuation_db,
+                collect_metrics=collect_metrics,
             ),
             jobs=jobs, cache=cache,
         )

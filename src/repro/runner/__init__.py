@@ -25,6 +25,7 @@ from repro.runner.cache import (
 from repro.runner.executor import (
     JOBS_ENV,
     execute_trials,
+    merge_trial_metrics,
     parallel_map,
     resolve_jobs,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "code_version_token",
     "default_cache_dir",
     "execute_trials",
+    "merge_trial_metrics",
     "parallel_map",
     "resolve_jobs",
     "stable_trial_key",

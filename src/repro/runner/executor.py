@@ -114,6 +114,27 @@ def parallel_map(
     return results
 
 
+def merge_trial_metrics(results: Sequence[Any]) -> dict:
+    """Aggregate per-trial telemetry snapshots into one campaign snapshot.
+
+    Each :class:`TrialResult` produced with ``collect_metrics=True`` carries
+    its world's :meth:`~repro.telemetry.metrics.MetricsRegistry.snapshot`
+    as a plain dict, so snapshots survive the pickle hop back from worker
+    processes unchanged.  Merging is pure data-plane arithmetic (counters
+    sum, gauges max, histograms add bucket-wise) and results arrive in
+    deterministic trial order, so the aggregate is identical for any
+    ``jobs`` value.
+
+    Results without metrics (``collect_metrics=False``, failed worlds) are
+    skipped; an empty snapshot is returned when none carry any.
+    """
+    from repro.telemetry.metrics import merge_snapshots
+
+    return merge_snapshots(
+        getattr(result, "metrics", None) for result in results
+    )
+
+
 def _run_one_trial(trial: Any) -> Any:
     """Module-level (hence picklable) single-trial worker."""
     from repro.experiments.common import run_single_trial

@@ -30,6 +30,13 @@ class Simulator:
     Args:
         seed: root seed for every RNG stream of the run.
         trace_enabled: whether to record a :class:`~repro.sim.trace.Trace`.
+        trace_max_records: bound the trace's in-memory backend to the
+            newest N records (ring-buffer mode); ``None`` keeps everything.
+        metrics_enabled: whether the
+            :class:`~repro.telemetry.metrics.MetricsRegistry` collects
+            (the registry object always exists, so components can bind
+            instruments unconditionally; disabled updates cost one
+            attribute check at the call site).
 
     Example:
         >>> sim = Simulator(seed=1)
@@ -40,11 +47,17 @@ class Simulator:
         [100.0]
     """
 
-    def __init__(self, seed: int = 0, trace_enabled: bool = True):
+    def __init__(self, seed: int = 0, trace_enabled: bool = True,
+                 trace_max_records: Optional[int] = None,
+                 metrics_enabled: bool = False):
+        from repro.telemetry.metrics import MetricsRegistry
+
         self._now = 0.0
         self._queue = EventQueue()
         self.streams = RngStreams(seed)
-        self.trace = Trace(enabled=trace_enabled)
+        self.trace = Trace(enabled=trace_enabled,
+                           max_records=trace_max_records)
+        self.metrics = MetricsRegistry(enabled=metrics_enabled)
         self._running = False
         self._stop_requested = False
 

@@ -1,0 +1,73 @@
+"""Telemetry & capture: metrics, streaming trace sinks, PCAP export.
+
+The paper's success heuristic (eq. 7) and the §VII sensitivity analysis
+are driven entirely by *what happened on air and when*.  This package is
+the system of record for that question:
+
+* :mod:`repro.telemetry.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges and fixed-bucket histograms (tx/rx/collision counts, injection
+  attempts-to-success, anchor drift, per-channel airtime).  The disabled
+  path is a single attribute check, cheap enough to leave the
+  instrumentation permanently compiled into the hot paths.
+* :mod:`repro.telemetry.sinks` — the :class:`TraceSink` protocol plus
+  list, bounded-ring and streaming-JSONL backends; the simulator's
+  :class:`~repro.sim.trace.Trace` forwards every record to any number of
+  attached sinks instead of being a mandatory unbounded list.
+* :mod:`repro.telemetry.pcap` — a Wireshark-compatible PCAP writer/reader
+  pair using Nordic BLE sniffer framing (DLT 272): access address,
+  channel, RSSI and CRC verdict per frame, so any simulated connection
+  opens directly in Wireshark.
+* :mod:`repro.telemetry.capture` — a medium tap collecting every on-air
+  frame (with per-connection CRC validation learned from CONNECT_REQs)
+  and exporting it as PCAP or JSONL.
+"""
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+from repro.telemetry.sinks import (
+    JsonlSink,
+    ListSink,
+    NullSink,
+    RingSink,
+    TraceSink,
+    read_jsonl,
+)
+from repro.telemetry.pcap import (
+    DLT_NORDIC_BLE,
+    NordicBleFrame,
+    PcapFormatError,
+    PcapReader,
+    PcapWriter,
+    pcap_bytes,
+    read_pcap,
+    write_pcap,
+)
+from repro.telemetry.capture import FrameRecorder
+
+__all__ = [
+    "Counter",
+    "DLT_NORDIC_BLE",
+    "FrameRecorder",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "ListSink",
+    "MetricsRegistry",
+    "NordicBleFrame",
+    "NullSink",
+    "PcapFormatError",
+    "PcapReader",
+    "PcapWriter",
+    "RingSink",
+    "TraceSink",
+    "merge_snapshots",
+    "pcap_bytes",
+    "read_jsonl",
+    "read_pcap",
+    "write_pcap",
+]

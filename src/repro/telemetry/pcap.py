@@ -1,0 +1,290 @@
+"""Wireshark-compatible PCAP export/import with Nordic BLE sniffer framing.
+
+The classic libpcap container (magic ``0xA1B2C3D4``, µs timestamps) with
+link type **272** (``LINKTYPE_NORDIC_BLE``), the encapsulation Wireshark's
+``nordic_ble`` dissector understands — the same framing InternalBlue-style
+experimentation stacks use to hand captures to standard tooling.  Each
+packet carries the nRF Sniffer protocol-version-2 layout::
+
+    offset  size  field
+    0       1     board id
+    1       1     header length (6)
+    2       1     payload length (everything after the 6-byte header)
+    3       1     protocol version (2)
+    4       2     packet counter (LE)
+    6       1     packet id (0x06 = EVENT_PACKET)
+    7       1     flags: bit0 CRC ok, bit1 direction master->slave,
+                  bit2 encrypted, bit3 MIC ok
+    8       1     channel (0-39)
+    9       1     RSSI magnitude (dBm = -value)
+    10      2     connection event counter (LE)
+    12      4     timestamp, µs (LE)
+    16      4     access address (LE)
+    20      n     PDU (LL header + payload)
+    20+n    3     CRC, LSB first (as transmitted on air)
+
+The reader is strict (magic, link type, truncation and length-consistency
+checks raise :class:`PcapFormatError`) and the writer is canonical —
+writing what the reader returned reproduces the input byte for byte,
+which the golden-file tests pin down.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from io import BytesIO
+from pathlib import Path
+from typing import IO, Iterable, Union
+
+__all__ = [
+    "DLT_NORDIC_BLE",
+    "NordicBleFrame",
+    "PcapFormatError",
+    "PcapReader",
+    "PcapWriter",
+    "read_pcap",
+    "write_pcap",
+]
+
+#: LINKTYPE_NORDIC_BLE, the Wireshark ``nordic_ble`` dissector's DLT.
+DLT_NORDIC_BLE = 272
+
+#: Classic pcap magic for µs-resolution timestamps.
+_PCAP_MAGIC = 0xA1B2C3D4
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+_NORDIC_HEADER = struct.Struct("<BBBBHB")
+_NORDIC_PAYLOAD = struct.Struct("<BBBHII")
+
+_NORDIC_HEADER_LEN = 6
+_PROTOCOL_VERSION = 2
+_PACKET_ID_EVENT = 0x06
+
+_FLAG_CRC_OK = 0x01
+_FLAG_DIRECTION = 0x02
+_FLAG_ENCRYPTED = 0x04
+_FLAG_MIC_OK = 0x08
+
+
+class PcapFormatError(ValueError):
+    """The bytes are not a valid Nordic BLE pcap stream."""
+
+
+@dataclass(frozen=True)
+class NordicBleFrame:
+    """One captured frame, as framed on disk.
+
+    Attributes:
+        time_us: capture timestamp in integer µs (simulated true time).
+        access_address: 32-bit access address.
+        channel: RF channel 0-39.
+        rssi_dbm: signed RSSI; stored on disk as a magnitude byte.
+        pdu: LL header + payload bytes.
+        crc: 24-bit CRC as transmitted (possibly corrupted in flight).
+        crc_ok: the capturer's CRC verdict (flags bit 0).
+        master_to_slave: direction flag (flags bit 1).
+        encrypted: payload is encrypted (flags bit 2).
+        event_counter: connection event counter at capture time.
+        board_id: capturing board id (0 for the simulator).
+    """
+
+    time_us: int
+    access_address: int
+    channel: int
+    rssi_dbm: int
+    pdu: bytes
+    crc: int
+    crc_ok: bool = True
+    master_to_slave: bool = False
+    encrypted: bool = False
+    event_counter: int = 0
+    board_id: int = 0
+
+    @property
+    def flags(self) -> int:
+        """The on-disk flags byte."""
+        return ((_FLAG_CRC_OK if self.crc_ok else 0)
+                | (_FLAG_DIRECTION if self.master_to_slave else 0)
+                | (_FLAG_ENCRYPTED if self.encrypted else 0))
+
+
+def _frame_to_payload(frame: NordicBleFrame, packet_counter: int) -> bytes:
+    if not 0 <= frame.channel < 40:
+        raise PcapFormatError(f"invalid channel: {frame.channel}")
+    if not 0 <= frame.crc < 1 << 24:
+        raise PcapFormatError(f"CRC out of range: {frame.crc:#x}")
+    rssi_magnitude = min(255, max(0, -int(round(frame.rssi_dbm))))
+    payload = _NORDIC_PAYLOAD.pack(
+        frame.flags, frame.channel, rssi_magnitude,
+        frame.event_counter & 0xFFFF, int(frame.time_us) & 0xFFFFFFFF,
+        frame.access_address & 0xFFFFFFFF,
+    ) + bytes(frame.pdu) + frame.crc.to_bytes(3, "little")
+    if len(payload) > 255:
+        raise PcapFormatError(f"PDU too long for Nordic framing: "
+                              f"{len(frame.pdu)} bytes")
+    header = _NORDIC_HEADER.pack(
+        frame.board_id, _NORDIC_HEADER_LEN, len(payload), _PROTOCOL_VERSION,
+        packet_counter & 0xFFFF, _PACKET_ID_EVENT,
+    )
+    return header + payload
+
+
+def _payload_to_frame(data: bytes, time_us: int) -> NordicBleFrame:
+    if len(data) < _NORDIC_HEADER.size + 1:
+        raise PcapFormatError(f"truncated Nordic header: {len(data)} bytes")
+    board_id, hlen, plen, version, _counter, packet_id = \
+        _NORDIC_HEADER.unpack_from(data, 0)
+    if hlen != _NORDIC_HEADER_LEN or version != _PROTOCOL_VERSION:
+        raise PcapFormatError(
+            f"unsupported Nordic framing: header len {hlen}, "
+            f"protocol version {version}")
+    if packet_id != _PACKET_ID_EVENT:
+        raise PcapFormatError(f"unsupported packet id: {packet_id:#x}")
+    payload = data[_NORDIC_HEADER.size:]
+    if len(payload) != plen:
+        raise PcapFormatError(
+            f"payload length mismatch: header says {plen}, "
+            f"record has {len(payload)}")
+    if plen < _NORDIC_PAYLOAD.size + 3:
+        raise PcapFormatError(f"payload too short for a frame: {plen} bytes")
+    flags, channel, rssi_magnitude, event_counter, timestamp, aa = \
+        _NORDIC_PAYLOAD.unpack_from(payload, 0)
+    if timestamp != time_us & 0xFFFFFFFF:
+        raise PcapFormatError(
+            f"payload timestamp {timestamp} disagrees with record header "
+            f"time {time_us}")
+    pdu = bytes(payload[_NORDIC_PAYLOAD.size:-3])
+    crc = int.from_bytes(payload[-3:], "little")
+    return NordicBleFrame(
+        time_us=time_us,
+        access_address=aa,
+        channel=channel,
+        rssi_dbm=-rssi_magnitude,
+        pdu=pdu,
+        crc=crc,
+        crc_ok=bool(flags & _FLAG_CRC_OK),
+        master_to_slave=bool(flags & _FLAG_DIRECTION),
+        encrypted=bool(flags & _FLAG_ENCRYPTED),
+        event_counter=event_counter,
+        board_id=board_id,
+    )
+
+
+class PcapWriter:
+    """Streams :class:`NordicBleFrame` records into a pcap file.
+
+    Args:
+        destination: path (created/truncated) or a binary file object.
+        snaplen: advertised snapshot length for the global header.
+    """
+
+    def __init__(self, destination: Union[str, Path, IO[bytes]],
+                 snaplen: int = 0xFFFF):
+        if hasattr(destination, "write"):
+            self._file: IO[bytes] = destination  # type: ignore[assignment]
+            self._owns_file = False
+        else:
+            self._file = open(destination, "wb")
+            self._owns_file = True
+        self._file.write(_GLOBAL_HEADER.pack(
+            _PCAP_MAGIC, 2, 4, 0, 0, snaplen, DLT_NORDIC_BLE))
+        self.written = 0
+
+    def write_frame(self, frame: NordicBleFrame) -> None:
+        """Append one frame as a pcap record."""
+        data = _frame_to_payload(frame, self.written)
+        time_us = int(frame.time_us)
+        self._file.write(_RECORD_HEADER.pack(
+            time_us // 1_000_000, time_us % 1_000_000, len(data), len(data)))
+        self._file.write(data)
+        self.written += 1
+
+    def close(self) -> None:
+        """Flush (and close, if the writer opened the file)."""
+        if self._owns_file and not self._file.closed:
+            self._file.close()
+        elif not self._file.closed:
+            self._file.flush()
+
+    def __enter__(self) -> "PcapWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class PcapReader:
+    """Parses a Nordic BLE pcap stream back into frames."""
+
+    def __init__(self, source: Union[str, Path, IO[bytes]]):
+        if hasattr(source, "read"):
+            self._file: IO[bytes] = source  # type: ignore[assignment]
+            self._owns_file = False
+        else:
+            self._file = open(source, "rb")
+            self._owns_file = True
+        header = self._file.read(_GLOBAL_HEADER.size)
+        if len(header) != _GLOBAL_HEADER.size:
+            raise PcapFormatError("truncated pcap global header")
+        magic, _major, _minor, _tz, _sig, _snaplen, network = \
+            _GLOBAL_HEADER.unpack(header)
+        if magic != _PCAP_MAGIC:
+            raise PcapFormatError(f"bad pcap magic: {magic:#010x}")
+        if network != DLT_NORDIC_BLE:
+            raise PcapFormatError(
+                f"not a Nordic BLE capture: link type {network}")
+
+    def __iter__(self):
+        return self
+
+    def __next__(self) -> NordicBleFrame:
+        header = self._file.read(_RECORD_HEADER.size)
+        if not header:
+            raise StopIteration
+        if len(header) != _RECORD_HEADER.size:
+            raise PcapFormatError("truncated pcap record header")
+        ts_sec, ts_usec, incl_len, orig_len = _RECORD_HEADER.unpack(header)
+        if incl_len != orig_len:
+            raise PcapFormatError(
+                f"sliced capture not supported: {incl_len} != {orig_len}")
+        data = self._file.read(incl_len)
+        if len(data) != incl_len:
+            raise PcapFormatError("truncated pcap record body")
+        return _payload_to_frame(data, ts_sec * 1_000_000 + ts_usec)
+
+    def read_all(self) -> list[NordicBleFrame]:
+        """All remaining frames."""
+        return list(self)
+
+    def close(self) -> None:
+        if self._owns_file and not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "PcapReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def write_pcap(destination: Union[str, Path, IO[bytes]],
+               frames: Iterable[NordicBleFrame]) -> int:
+    """Write ``frames`` as a pcap file; returns the number written."""
+    with PcapWriter(destination) as writer:
+        for frame in frames:
+            writer.write_frame(frame)
+        return writer.written
+
+
+def read_pcap(source: Union[str, Path, IO[bytes]]) -> list[NordicBleFrame]:
+    """Read every frame of a Nordic BLE pcap file."""
+    with PcapReader(source) as reader:
+        return reader.read_all()
+
+
+def pcap_bytes(frames: Iterable[NordicBleFrame]) -> bytes:
+    """The full pcap stream for ``frames``, as bytes (for tests)."""
+    buffer = BytesIO()
+    write_pcap(buffer, frames)
+    return buffer.getvalue()

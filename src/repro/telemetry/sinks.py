@@ -1,0 +1,176 @@
+"""Streaming trace sinks.
+
+A *sink* receives every :class:`~repro.sim.trace.TraceRecord` the moment
+it is recorded.  The simulator's :class:`~repro.sim.trace.Trace` owns one
+in-memory backend (unbounded list or bounded ring) and forwards each
+record to any number of attached sinks, so "keep everything in RAM" is
+just one pluggable policy among several:
+
+* :class:`ListSink` — the historical unbounded list (query-friendly);
+* :class:`RingSink` — a ``deque(maxlen=...)`` keeping the most recent
+  records only, for million-trial campaigns where the tail is all that
+  matters;
+* :class:`JsonlSink` — streams each record as one JSON line to a file,
+  the interchange format ``repro capture --format jsonl`` emits;
+* :class:`NullSink` — discards everything (benchmark control).
+
+Sinks are duck-typed against :class:`TraceSink`; anything with
+``write(record)`` and ``close()`` works.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import IO, TYPE_CHECKING, Iterator, Protocol, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from repro.sim.trace import TraceRecord
+
+__all__ = [
+    "JsonlSink",
+    "ListSink",
+    "NullSink",
+    "RingSink",
+    "TraceSink",
+    "read_jsonl",
+]
+
+
+class TraceSink(Protocol):
+    """What a trace backend must implement."""
+
+    def write(self, record: "TraceRecord") -> None:
+        """Accept one record."""
+        ...  # pragma: no cover - protocol
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+        ...  # pragma: no cover - protocol
+
+
+class ListSink:
+    """Unbounded in-memory sink — the seed repo's original behaviour."""
+
+    __slots__ = ("records",)
+
+    def __init__(self) -> None:
+        self.records: list["TraceRecord"] = []
+
+    def write(self, record: "TraceRecord") -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator["TraceRecord"]:
+        return iter(self.records)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class RingSink:
+    """Bounded in-memory sink keeping the ``max_records`` newest records."""
+
+    __slots__ = ("records", "dropped")
+
+    def __init__(self, max_records: int):
+        if max_records <= 0:
+            raise ValueError(f"max_records must be positive: {max_records}")
+        self.records: deque["TraceRecord"] = deque(maxlen=max_records)
+        #: Records evicted so far (how much history the ring has forgotten).
+        self.dropped = 0
+
+    @property
+    def max_records(self) -> int:
+        """The ring capacity."""
+        return self.records.maxlen or 0
+
+    def write(self, record: "TraceRecord") -> None:
+        if len(self.records) == self.records.maxlen:
+            self.dropped += 1
+        self.records.append(record)
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator["TraceRecord"]:
+        return iter(self.records)
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0
+
+
+class NullSink:
+    """Discards every record."""
+
+    __slots__ = ()
+
+    def write(self, record: "TraceRecord") -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Streams records as JSON lines (one object per record).
+
+    Line schema::
+
+        {"time_us": 123.4, "source": "medium", "kind": "tx", "detail": {...}}
+
+    Args:
+        destination: a path (opened for writing, closed by :meth:`close`)
+            or an already-open text file object (left open).
+    """
+
+    def __init__(self, destination: Union[str, Path, IO[str]]):
+        if hasattr(destination, "write"):
+            self._file: IO[str] = destination  # type: ignore[assignment]
+            self._owns_file = False
+        else:
+            self._file = open(destination, "w", encoding="utf-8")
+            self._owns_file = True
+        self.written = 0
+
+    def write(self, record: "TraceRecord") -> None:
+        json.dump(
+            {"time_us": record.time_us, "source": record.source,
+             "kind": record.kind, "detail": record.detail},
+            self._file, separators=(",", ":"), sort_keys=True, default=str,
+        )
+        self._file.write("\n")
+        self.written += 1
+
+    def close(self) -> None:
+        if self._owns_file and not self._file.closed:
+            self._file.close()
+        elif not self._file.closed:
+            self._file.flush()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_jsonl(path: Union[str, Path]) -> list[dict]:
+    """Parse a JSONL trace file back into a list of record dicts."""
+    out = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

@@ -57,6 +57,54 @@ class TestCommands:
         assert "CONNECT_REQ" in out
         assert "frames captured" in out
 
+    def test_capture_pcap_roundtrips(self, capsys, tmp_path):
+        from repro.telemetry import pcap_bytes, read_pcap
+
+        path = tmp_path / "out.pcap"
+        code = main(["capture", "--duration", "1.2", "--format", "pcap",
+                     "--output", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0 and str(path) in out
+        frames = read_pcap(path)
+        assert frames and pcap_bytes(frames) == path.read_bytes()
+        assert all(f.crc_ok for f in frames)
+
+    def test_capture_jsonl(self, capsys, tmp_path):
+        from repro.telemetry.sinks import read_jsonl
+
+        path = tmp_path / "out.jsonl"
+        code = main(["capture", "--duration", "1.2", "--format", "jsonl",
+                     "--output", str(path)])
+        assert code == 0
+        rows = read_jsonl(path)
+        assert rows and {"time_us", "channel", "pdu"} <= rows[0].keys()
+
+    def test_capture_scenario_pcap(self, capsys, tmp_path):
+        from repro.telemetry import pcap_bytes, read_pcap
+
+        path = tmp_path / "scen.pcap"
+        code = main(["capture", "--format", "pcap", "--scenario", "a",
+                     "--seed", "1100", "--output", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scenario A" in out
+        frames = read_pcap(path)
+        assert frames and pcap_bytes(frames) == path.read_bytes()
+
+    def test_metrics_consistent_across_jobs(self, capsys):
+        code = main(["metrics", "payload", "--connections", "2",
+                     "--jobs", "1"])
+        serial = capsys.readouterr().out
+        assert code == 0
+        code = main(["metrics", "payload", "--connections", "2",
+                     "--jobs", "4"])
+        pooled = capsys.readouterr().out
+        assert code == 0
+        assert pooled == serial
+        assert "medium.tx" in serial
+        assert "inject.attempts" in serial
+        assert "medium.collisions" in serial or "medium.rx" in serial
+
     def test_profile_prints_cumulative_hot_paths(self, capsys):
         code = main(["profile", "hop", "--connections", "1", "--top", "5"])
         out = capsys.readouterr().out

@@ -8,6 +8,7 @@ from repro.experiments.common import InjectionTrial, run_trials
 from repro.runner import (
     ResultCache,
     execute_trials,
+    merge_trial_metrics,
     parallel_map,
     resolve_jobs,
     stable_trial_key,
@@ -75,6 +76,10 @@ def _reciprocal(x):
     return 1 / x
 
 
+def _metric_trial(seed):
+    return InjectionTrial(seed=seed, hop_interval=75, collect_metrics=True)
+
+
 class TestParallelDeterminism:
     def test_jobs4_equals_jobs1_field_for_field(self):
         """The runner's core contract: job count never changes results."""
@@ -82,6 +87,31 @@ class TestParallelDeterminism:
         parallel = run_trials(21, 4, _quick_trial, jobs=4)
         assert parallel == serial  # TrialResult eq covers report/records too
         assert [r.attempts for r in parallel] == [r.attempts for r in serial]
+
+
+class TestWorkerMetricsMerging:
+    def test_snapshots_cross_the_process_boundary(self):
+        results = run_trials(22, 2, _metric_trial, jobs=2)
+        for result in results:
+            assert result.metrics is not None
+            assert result.metrics["counters"]["medium.tx"] > 0
+
+    def test_merged_metrics_identical_at_any_job_count(self):
+        """Per-trial snapshots sum to the same campaign aggregate."""
+        serial = merge_trial_metrics(run_trials(23, 3, _metric_trial, jobs=1))
+        pooled = merge_trial_metrics(run_trials(23, 3, _metric_trial, jobs=2))
+        assert pooled == serial
+        assert serial["counters"]["inject.success"] == 3
+
+    def test_merge_skips_metricless_results(self):
+        mixed = (run_trials(24, 1, _metric_trial, jobs=1)
+                 + run_trials(24, 1, _quick_trial, jobs=1))
+        merged = merge_trial_metrics(mixed)
+        assert merged["counters"]["inject.success"] == 1
+
+    def test_merge_of_nothing_is_empty(self):
+        merged = merge_trial_metrics(run_trials(25, 2, _quick_trial, jobs=1))
+        assert merged == {"counters": {}, "gauges": {}, "histograms": {}}
 
 
 class TestTrialKey:
@@ -99,6 +129,7 @@ class TestTrialKey:
             InjectionTrial(seed=1, wall_attenuation_db=8.0),
             InjectionTrial(seed=1, widening_scale=0.5),
             InjectionTrial(seed=1, encrypted=True),
+            InjectionTrial(seed=1, collect_metrics=True),
         ]
         keys = {stable_trial_key(t, "tok") for t in [base] + variants}
         assert len(keys) == len(variants) + 1
