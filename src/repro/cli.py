@@ -240,6 +240,52 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.lintkit import (
+        default_package_root,
+        load_baseline,
+        run_lint,
+        save_baseline,
+    )
+
+    root = Path(args.root) if args.root else default_package_root()
+
+    baseline_path = Path(args.baseline) if args.baseline else None
+    if baseline_path is None:
+        # Conventional locations: the working directory (running from a
+        # checkout) or the repository root above an editable src/ install.
+        from repro.lintkit.baseline import BASELINE_FILENAME
+
+        candidates = [
+            Path.cwd() / BASELINE_FILENAME,
+            default_package_root().parent.parent / BASELINE_FILENAME,
+        ]
+        for candidate in candidates:
+            if candidate.exists():
+                baseline_path = candidate
+                break
+
+    baseline = load_baseline(baseline_path) if baseline_path else None
+    report = run_lint(root=root, baseline=baseline)
+
+    if args.write_baseline:
+        target = baseline_path or Path.cwd() / "lint-baseline.json"
+        merged = report.findings + report.baselined
+        save_baseline(target, merged, reason="grandfathered via "
+                      "`repro lint --write-baseline`")
+        print(f"wrote {len(merged)} baseline entr"
+              f"{'y' if len(merged) == 1 else 'ies'} to {target}")
+        return 0
+
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.runner import ResultCache
 
@@ -251,6 +297,9 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(render_series("Trial-result cache", [
             ("location", str(cache.root)),
             ("entries", str(len(cache))),
+            # The result-relevant source hash keying every entry: edits to
+            # sim/ll/phy/... change it; lintkit/analysis/CLI edits do not.
+            ("code token", cache.token[:16]),
         ]))
     return 0
 
@@ -345,6 +394,24 @@ def build_parser() -> argparse.ArgumentParser:
                            help="manage the on-disk trial-result cache")
     cache.add_argument("action", choices=("info", "clear"))
     cache.set_defaults(func=_cmd_cache)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the project's determinism/invariant static analysis")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="report format (json includes baselined and "
+                           "inline-waived findings)")
+    lint.add_argument("--baseline", default=None,
+                      help="baseline file of grandfathered findings "
+                           "(default: lint-baseline.json in the working "
+                           "directory or the repository root)")
+    lint.add_argument("--root", default=None,
+                      help="directory tree to lint (default: the installed "
+                           "repro package)")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="grandfather every current finding into the "
+                           "baseline file instead of failing on them")
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

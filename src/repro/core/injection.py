@@ -282,11 +282,12 @@ class Injector:
             nesn_a=nesn_a,
         )
         self._report.records.append(self._attempt)
-        self.sim.trace.record(self.sim.now, self.radio.name,
-                              "injection-attempt",
-                              attempt=self._report.attempts,
-                              event_count=conn.event_count,
-                              channel=channel, t_a=frame.start_us)
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, self.radio.name,
+                                  "injection-attempt",
+                                  attempt=self._report.attempts,
+                                  event_count=conn.event_count,
+                                  channel=channel, t_a=frame.start_us)
         self._schedule(frame.end_us + 0.5,
                        lambda ch=channel: self._tune(ch),
                        "inject-rx-on")
@@ -307,9 +308,10 @@ class Injector:
         attempt = self._attempt
         attempt.verdict = HeuristicVerdict(False, False, False, False)
         self._attempt = None
-        self.sim.trace.record(self.sim.now, self.radio.name,
-                              "injection-no-response",
-                              attempt=attempt.attempt_number)
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, self.radio.name,
+                                  "injection-no-response",
+                                  attempt=attempt.attempt_number)
         self._after_failed_attempt()
 
     def _on_attempt_response(self, frame: RadioFrame) -> None:
@@ -342,12 +344,13 @@ class Injector:
             # The Slave re-anchored on our frame: our transmission start is
             # the connection's new anchor point.
             conn.note_anchor(attempt.t_a)
-        self.sim.trace.record(self.sim.now, self.radio.name,
-                              "injection-verdict",
-                              attempt=attempt.attempt_number,
-                              success=verdict.success,
-                              timing_ok=verdict.timing_ok,
-                              ack_ok=verdict.ack_ok)
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, self.radio.name,
+                                  "injection-verdict",
+                                  attempt=attempt.attempt_number,
+                                  success=verdict.success,
+                                  timing_ok=verdict.timing_ok,
+                                  ack_ok=verdict.ack_ok)
         if verdict.success:
             self._finish(InjectionOutcome.SUCCESS)
         else:
@@ -445,9 +448,10 @@ class Injector:
                 self._m_attempts_to_success.observe(report.attempts)
             else:
                 self._m_failure.inc()
-        self.sim.trace.record(self.sim.now, self.radio.name,
-                              "injection-finished",
-                              outcome=outcome.value,
-                              attempts=report.attempts)
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, self.radio.name,
+                                  "injection-finished",
+                                  outcome=outcome.value,
+                                  attempts=report.attempts)
         if self._on_done is not None:
             self._on_done(report)

@@ -218,14 +218,16 @@ class FakeSlave:
         self.radio.transmit(self.conn.params.access_address, pdu_bytes, crc,
                             self.conn.current_channel or 0, phy=self.conn.phy)
         self.frames_answered += 1
-        self.sim.trace.record(self.sim.now, self.name, "fake-slave-response",
-                              event_count=self.conn.event_count)
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, self.name, "fake-slave-response",
+                                  event_count=self.conn.event_count)
         self._arm_next_event()
 
     def _lost(self, reason: str) -> None:
         self.stop()
-        self.sim.trace.record(self.sim.now, self.name, "fake-slave-lost",
-                              reason=reason)
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, self.name, "fake-slave-lost",
+                                  reason=reason)
         if self.on_lost is not None:
             self.on_lost(reason)
 
@@ -329,9 +331,10 @@ class FakeMaster:
         self.conn.note_anchor(frame.start_us)
         self.polls_sent += 1
         self._awaiting = True
-        self.sim.trace.record(self.sim.now, self.name, "fake-master-poll",
-                              event_count=self.conn.event_count,
-                              channel=channel)
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, self.name, "fake-master-poll",
+                                  event_count=self.conn.event_count,
+                                  channel=channel)
         self._schedule(frame.end_us + 0.5,
                        lambda ch=channel: self._tune_rx(ch),
                        f"{self.name}-rx-on")
@@ -387,7 +390,8 @@ class FakeMaster:
 
     def _lost(self, reason: str) -> None:
         self.stop()
-        self.sim.trace.record(self.sim.now, self.name, "fake-master-lost",
-                              reason=reason)
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, self.name, "fake-master-lost",
+                                  reason=reason)
         if self.on_lost is not None:
             self.on_lost(reason)

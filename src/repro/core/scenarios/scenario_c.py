@@ -19,9 +19,11 @@ from repro.core.roles import FakeMaster
 from repro.core.sniffer import SniffedEvent
 from repro.errors import AttackError
 from repro.ll.pdu.control import ConnectionUpdateInd
+from repro.utils.units import T_IFS_US
 
-#: Safety margin inside the new transmit window for the first poll, µs.
-_FIRST_POLL_OFFSET_US = 150.0
+#: Safety margin inside the new transmit window for the first poll:
+#: one inter-frame space, the smallest spec-visible timing quantum.
+_FIRST_POLL_OFFSET_US = T_IFS_US
 
 
 @dataclass

@@ -27,9 +27,11 @@ from repro.errors import AttackError
 from repro.ll.pdu.control import ConnectionUpdateInd
 from repro.sim.clock import SleepClock
 from repro.sim.transceiver import Transceiver
+from repro.utils.units import T_IFS_US
 
-#: Safety margin inside the new transmit window for the first poll, µs.
-_FIRST_POLL_OFFSET_US = 150.0
+#: Safety margin inside the new transmit window for the first poll:
+#: one inter-frame space, the smallest spec-visible timing quantum.
+_FIRST_POLL_OFFSET_US = T_IFS_US
 
 #: Hook type: receives an L2CAP frame, returns the (possibly modified)
 #: frame to forward, or ``None`` to drop it.

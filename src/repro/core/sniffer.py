@@ -186,9 +186,10 @@ class ConnectionSniffer:
         conn.master_address = pdu.init_addr
         conn.slave_address = pdu.adv_addr
         self.connection = conn
-        self.sim.trace.record(self.sim.now, self.radio.name, "sniff-connreq",
-                              aa=params.access_address,
-                              interval=params.interval)
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, self.radio.name, "sniff-connreq",
+                                  aa=params.access_address,
+                                  interval=params.interval)
         # First data channel and transmit window (paper eq. 1).
         conn.current_channel = self._first_channel(conn)
         window = transmit_window(frame.end_us, params.win_offset,
@@ -226,8 +227,9 @@ class ConnectionSniffer:
             if self._aa_counts[frame.access_address] >= 2:
                 self._target_aa = frame.access_address
                 self._stage = _RecoveryStage.CRC_RECOVERY
-                self.sim.trace.record(self.sim.now, self.radio.name,
-                                      "sniff-aa-found", aa=self._target_aa)
+                if self.sim.trace.enabled:
+                    self.sim.trace.record(self.sim.now, self.radio.name,
+                                          "sniff-aa-found", aa=self._target_aa)
             return
         if frame.access_address != self._target_aa:
             return
@@ -239,8 +241,9 @@ class ConnectionSniffer:
                 self._crc_candidate = candidate
             elif candidate == self._crc_candidate:
                 self._stage = _RecoveryStage.INTERVAL
-                self.sim.trace.record(self.sim.now, self.radio.name,
-                                      "sniff-crcinit", crc_init=candidate)
+                if self.sim.trace.enabled:
+                    self.sim.trace.record(self.sim.now, self.radio.name,
+                                          "sniff-crcinit", crc_init=candidate)
                 self._note_visit(frame)
             else:
                 self._crc_candidate = candidate
@@ -255,8 +258,9 @@ class ConnectionSniffer:
                 self._increment_first = (self._probe_channel, self._visit_times[-1])
                 next_channel = (self._probe_channel + 1) % 37
                 self.radio.listen(next_channel)
-                self.sim.trace.record(self.sim.now, self.radio.name,
-                                      "sniff-interval", interval=interval)
+                if self.sim.trace.enabled:
+                    self.sim.trace.record(self.sim.now, self.radio.name,
+                                          "sniff-interval", interval=interval)
             return
         if self._stage is _RecoveryStage.INCREMENT:
             if self._is_new_event_start(frame):
@@ -316,9 +320,10 @@ class ConnectionSniffer:
         conn.note_anchor(frame.start_us)
         self.connection = conn
         self._stage = _RecoveryStage.DONE
-        self.sim.trace.record(self.sim.now, self.radio.name, "sniff-recovered",
-                              aa=self._target_aa, hop=hop,
-                              interval=self._recovered_interval)
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, self.radio.name, "sniff-recovered",
+                                  aa=self._target_aa, hop=hop,
+                                  interval=self._recovered_interval)
         # The current event is in progress; follow from the next one.
         self._current = SniffedEvent(conn.event_count, channel,
                                      anchor_us=frame.start_us)
@@ -455,7 +460,8 @@ class ConnectionSniffer:
         if self.connection is not None:
             self.connection.alive = False
         self.cancel()
-        self.sim.trace.record(self.sim.now, self.radio.name, "sniff-lost",
-                              reason=reason)
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, self.radio.name, "sniff-lost",
+                                  reason=reason)
         if self.on_lost is not None:
             self.on_lost(reason)

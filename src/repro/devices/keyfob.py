@@ -50,8 +50,9 @@ class Keyfob(SimulatedPeripheral):
         self.alert_level = value[0]
         if self.alert_level != ALERT_NONE:
             self.ring_count += 1
-            self.sim.trace.record(self.sim.now, self.name, "keyfob-ring",
-                                  level=self.alert_level)
+            if self.sim.trace.enabled:
+                self.sim.trace.record(self.sim.now, self.name, "keyfob-ring",
+                                      level=self.alert_level)
 
     @property
     def is_ringing(self) -> bool:

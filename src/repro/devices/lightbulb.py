@@ -81,8 +81,9 @@ class Lightbulb(SimulatedPeripheral):
         elif opcode == OP_BRIGHTNESS and len(value) >= 2:
             self.brightness = value[1]
             self.command_log.append(("brightness", self.brightness))
-        self.sim.trace.record(self.sim.now, self.name, "bulb-command",
-                              state=self.describe())
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, self.name, "bulb-command",
+                                  state=self.describe())
 
     def _read_state(self) -> bytes:
         return bytes([int(self.is_on), *self.color, self.brightness])

@@ -75,8 +75,9 @@ class Smartwatch(SimulatedPeripheral):
         except CodecError:
             return
         self.inbox.append(sms)
-        self.sim.trace.record(self.sim.now, self.name, "sms-displayed",
-                              sender=sms.sender, text=sms.text)
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, self.name, "sms-displayed",
+                                  sender=sms.sender, text=sms.text)
 
     @property
     def last_sms(self) -> Sms:

@@ -1,0 +1,55 @@
+"""Project-specific static analysis (``repro lint``).
+
+The reproduction's headline guarantee — trial results bit-identical at any
+``--jobs`` count and replayable from the :class:`~repro.runner.cache.ResultCache`
+— rests on a handful of conventions that generic linters cannot express:
+
+* all randomness flows through :mod:`repro.utils.rand` (no ``random``, no
+  wall clocks, no ``os.urandom`` in simulation code);
+* iteration order in hot paths never depends on ``set`` ordering;
+* BLE spec constants (T_IFS, the 1.25 ms slot, CRC/whitening polynomials)
+  come from the canonical constants modules instead of being re-typed;
+* per-event/per-frame classes declare ``__slots__`` and telemetry calls sit
+  behind a single ``enabled`` attribute check;
+* objects stored in the trial-result cache never capture a ``Simulator``,
+  ``Medium`` or ``Trace`` reference (they must survive the pickle hop from
+  worker processes and replay across runs).
+
+``repro.lintkit`` encodes each invariant as an AST checker over the
+package's own source.  Findings can be *grandfathered* via a committed
+baseline file (``lint-baseline.json``) so the gate only fails on **new**
+violations, and individual lines can be waived inline with
+``# lint-ok: <checker-id> <reason>``.
+
+Programmatic use::
+
+    from repro.lintkit import run_lint
+    report = run_lint()             # lints the installed repro package
+    assert not report.findings
+"""
+
+from repro.lintkit.baseline import Baseline, load_baseline, save_baseline
+from repro.lintkit.checkers import ALL_CHECKERS, checker_index
+from repro.lintkit.engine import (
+    LintReport,
+    ModuleSource,
+    Project,
+    default_package_root,
+    run_lint,
+)
+from repro.lintkit.findings import Finding, fingerprint_findings
+
+__all__ = [
+    "ALL_CHECKERS",
+    "Baseline",
+    "Finding",
+    "LintReport",
+    "ModuleSource",
+    "Project",
+    "checker_index",
+    "default_package_root",
+    "fingerprint_findings",
+    "load_baseline",
+    "run_lint",
+    "save_baseline",
+]

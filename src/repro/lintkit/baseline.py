@@ -1,0 +1,86 @@
+"""Baseline files: grandfathered findings that do not fail the gate.
+
+A baseline is a committed JSON file mapping finding fingerprints to a short
+human-readable record of what was grandfathered and why.  ``repro lint``
+fails only on findings *not* in the baseline, so the gate can be adopted
+on a tree with known, reviewed debt while still catching every regression.
+
+Fingerprints hash the checker id, file path and offending source line (see
+:func:`repro.lintkit.findings.fingerprint_findings`), so entries survive
+line-number drift but die with the line they describe — a stale entry is
+reported so it can be pruned.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List
+
+from repro.lintkit.findings import Finding
+
+#: Schema version of the baseline file format.
+BASELINE_VERSION = 1
+
+#: Conventional baseline filename at the repository root.
+BASELINE_FILENAME = "lint-baseline.json"
+
+
+@dataclass
+class Baseline:
+    """A set of grandfathered finding fingerprints.
+
+    Attributes:
+        entries: fingerprint -> metadata (checker, path, snippet, reason).
+        path: file the baseline was loaded from, if any.
+    """
+
+    entries: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    path: Path = None  # type: ignore[assignment]
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def stale(self, findings: List[Finding]) -> List[str]:
+        """Baseline fingerprints no longer matched by any finding."""
+        live = {f.fingerprint for f in findings}
+        return sorted(fp for fp in self.entries if fp not in live)
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Load a baseline file; a missing file yields an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return Baseline(entries={}, path=path)
+    data = json.loads(path.read_text())
+    version = data.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {version!r} in {path} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    entries = data.get("entries", {})
+    if not isinstance(entries, dict):
+        raise ValueError(f"malformed baseline entries in {path}")
+    return Baseline(entries=entries, path=path)
+
+
+def save_baseline(path: Path, findings: List[Finding],
+                  reason: str = "grandfathered") -> Baseline:
+    """Write ``findings`` as a fresh baseline at ``path`` and return it."""
+    entries: Dict[str, Dict[str, str]] = {}
+    for finding in sorted(findings, key=Finding.sort_key):
+        entries[finding.fingerprint] = {
+            "checker": finding.checker,
+            "path": finding.path,
+            "snippet": finding.snippet,
+            "reason": reason,
+        }
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return Baseline(entries=entries, path=path)

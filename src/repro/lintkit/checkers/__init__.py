@@ -1,0 +1,48 @@
+"""Checker registry.
+
+Each checker encodes one project invariant (see the package docstring of
+:mod:`repro.lintkit`).  The registry order is the report order for equal
+source locations.
+"""
+
+from typing import Dict
+
+from repro.lintkit.checkers.base import Checker
+from repro.lintkit.checkers.determinism import (
+    FloatTimeEqualityChecker,
+    NondeterministicCallChecker,
+    SetIterationChecker,
+)
+from repro.lintkit.checkers.perf import MissingSlotsChecker, TelemetryGuardChecker
+from repro.lintkit.checkers.process_safety import ResultCaptureChecker
+from repro.lintkit.checkers.spec import MagicNumberChecker
+
+#: Every shipped checker, in canonical order.
+ALL_CHECKERS = (
+    NondeterministicCallChecker(),
+    SetIterationChecker(),
+    FloatTimeEqualityChecker(),
+    MagicNumberChecker(),
+    MissingSlotsChecker(),
+    TelemetryGuardChecker(),
+    ResultCaptureChecker(),
+)
+
+
+def checker_index() -> Dict[str, Checker]:
+    """Checker id -> instance, for docs and the CLI ``--select`` option."""
+    return {checker.id: checker for checker in ALL_CHECKERS}
+
+
+__all__ = [
+    "ALL_CHECKERS",
+    "Checker",
+    "FloatTimeEqualityChecker",
+    "MagicNumberChecker",
+    "MissingSlotsChecker",
+    "NondeterministicCallChecker",
+    "ResultCaptureChecker",
+    "SetIterationChecker",
+    "TelemetryGuardChecker",
+    "checker_index",
+]

@@ -1,0 +1,118 @@
+"""Finding records, stable fingerprints and report serialisation."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        checker: checker id, e.g. ``"nondeterministic-call"``.
+        path: path of the offending file relative to the linted root
+            (POSIX separators, stable across platforms).
+        line: 1-based line of the offending node.
+        col: 0-based column of the offending node.
+        message: human-readable description of the violation.
+        snippet: the stripped source line, used for fingerprinting so
+            baselines survive unrelated edits that only shift line numbers.
+        fingerprint: content-addressed id (checker + path + snippet +
+            occurrence index); filled in by :func:`fingerprint_findings`.
+    """
+
+    checker: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+    fingerprint: str = field(default="", compare=False)
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.checker, self.message)
+
+    def render(self) -> str:
+        """``path:line:col [checker] message`` — one line per finding."""
+        return f"{self.path}:{self.line}:{self.col} [{self.checker}] {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "checker": self.checker,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def _fingerprint(checker: str, path: str, snippet: str, occurrence: int) -> str:
+    digest = hashlib.sha256(
+        f"{checker}|{path}|{snippet}|{occurrence}".encode()
+    ).hexdigest()
+    return digest[:16]
+
+
+def fingerprint_findings(findings: List[Finding]) -> List[Finding]:
+    """Return ``findings`` sorted and with stable fingerprints attached.
+
+    The fingerprint hashes the checker id, the file path and the stripped
+    source line — *not* the line number — so a baseline entry keeps
+    matching while surrounding code moves.  Identical lines in the same
+    file are disambiguated by an occurrence counter (in line order).
+    """
+    ordered = sorted(findings, key=Finding.sort_key)
+    seen: Dict[tuple, int] = {}
+    out: List[Finding] = []
+    for finding in ordered:
+        key = (finding.checker, finding.path, finding.snippet)
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        out.append(
+            Finding(
+                checker=finding.checker,
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                message=finding.message,
+                snippet=finding.snippet,
+                fingerprint=_fingerprint(
+                    finding.checker, finding.path, finding.snippet, occurrence
+                ),
+            )
+        )
+    return out
+
+
+def source_line(lines: List[str], lineno: int) -> str:
+    """The stripped source line ``lineno`` (1-based), or ``""``."""
+    if 1 <= lineno <= len(lines):
+        return lines[lineno - 1].strip()
+    return ""
+
+
+def suppression_ids(line: str) -> Optional[List[str]]:
+    """Checker ids waived by a ``# lint-ok: id[, id...] reason`` comment.
+
+    Returns ``None`` when the line carries no waiver.  Everything after
+    the id list is treated as the (mandatory by convention, unenforced)
+    human reason.
+    """
+    marker = "# lint-ok:"
+    idx = line.find(marker)
+    if idx < 0:
+        return None
+    rest = line[idx + len(marker):].strip()
+    ids: List[str] = []
+    for token in rest.replace(",", " ").split():
+        # ids are kebab-case; the first non-id-looking token starts the reason
+        if token.replace("-", "").isalnum() and not token.isdigit():
+            ids.append(token)
+        else:
+            break
+    return ids

@@ -1,0 +1,142 @@
+"""Parsed-source model shared by the engine and the checkers."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass
+class ModuleSource:
+    """One parsed source file.
+
+    Attributes:
+        path: absolute path on disk.
+        relpath: path relative to the linted root, POSIX separators.
+        text: raw source text.
+        lines: source split into lines (1-based access via index+1).
+        tree: parsed AST.
+    """
+
+    path: Path
+    relpath: str
+    text: str
+    lines: List[str]
+    tree: ast.Module
+    _parents: Optional[Dict[ast.AST, ast.AST]] = field(
+        default=None, repr=False, compare=False)
+
+    @classmethod
+    def parse(cls, path: Path, root: Path) -> "ModuleSource":
+        text = path.read_text()
+        return cls(
+            path=path,
+            relpath=path.relative_to(root).as_posix(),
+            text=text,
+            lines=text.splitlines(),
+            tree=ast.parse(text, filename=str(path)),
+        )
+
+    @property
+    def parents(self) -> Dict[ast.AST, ast.AST]:
+        """Child -> parent map over the module AST (built lazily, once)."""
+        if self._parents is None:
+            parents: Dict[ast.AST, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[child] = node
+            self._parents = parents
+        return self._parents
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Ancestors of ``node``, innermost first."""
+        parents = self.parents
+        current = parents.get(node)
+        while current is not None:
+            yield current
+            current = parents.get(current)
+
+
+@dataclass
+class Project:
+    """All modules under the linted root."""
+
+    root: Path
+    modules: List[ModuleSource]
+
+    def in_scope(self, scope: Tuple[str, ...],
+                 exempt: Tuple[str, ...] = ()) -> Iterator[ModuleSource]:
+        """Modules whose relpath matches ``scope`` and none of ``exempt``.
+
+        A scope entry is a relpath prefix (``"sim/"``), an exact file
+        (``"cli.py"``) or ``""`` for everything.
+        """
+        for module in self.modules:
+            if not _matches(module.relpath, scope):
+                continue
+            if exempt and _matches(module.relpath, exempt):
+                continue
+            yield module
+
+
+def _matches(relpath: str, patterns: Tuple[str, ...]) -> bool:
+    for pattern in patterns:
+        if pattern == "" or relpath == pattern or relpath.startswith(pattern):
+            return True
+    return False
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, or ``None`` for anything else."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def import_table(tree: ast.Module) -> Dict[str, str]:
+    """Local alias -> fully qualified module/object name.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from datetime import
+    datetime as dt`` maps ``dt -> datetime.datetime``.  Only top-level and
+    function-local imports are considered (anything reachable by walk).
+    """
+    table: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                table[local] = alias.name if alias.asname else \
+                    alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import: keep the suffix only
+                base = node.module or ""
+            else:
+                base = node.module or ""
+            for alias in node.names:
+                local = alias.asname or alias.name
+                table[local] = f"{base}.{alias.name}" if base else alias.name
+    return table
+
+
+def resolve_call_target(node: ast.Call, imports: Dict[str, str]
+                        ) -> Optional[str]:
+    """Fully qualified dotted target of a call, through import aliases.
+
+    ``np.random.rand()`` with ``np -> numpy`` resolves to
+    ``numpy.random.rand``; calls on non-Name roots (``self.foo()``)
+    resolve to ``None``.
+    """
+    dotted = dotted_name(node.func)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    target = imports.get(head, head)
+    return f"{target}.{rest}" if rest else target

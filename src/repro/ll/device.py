@@ -184,7 +184,8 @@ class LinkLayerDevice:
         try:
             return self.encryption.decrypt_pdu(pdu)
         except MicError:
-            self.sim.trace.record(self.sim.now, self.name, "mic-failure")
+            if self.sim.trace.enabled:
+                self.sim.trace.record(self.sim.now, self.name, "mic-failure")
             self.disconnect("MIC failure")
             return None
 
@@ -211,12 +212,14 @@ class LinkLayerDevice:
         self.encryption = None
         self.clear_queue()
         self.radio.stop_listening()
-        self.sim.trace.record(self.sim.now, self.name, "disconnected", reason=reason)
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, self.name, "disconnected", reason=reason)
         if self.on_disconnected is not None:
             self.on_disconnected(reason)
 
     def _notify_connected(self) -> None:
-        self.sim.trace.record(self.sim.now, self.name, "connected")
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, self.name, "connected")
         if self.on_connected is not None:
             self.on_connected()
 

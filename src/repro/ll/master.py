@@ -222,8 +222,9 @@ class MasterLinkLayer(LinkLayerDevice):
         self.state = MasterState.CONNECTED
         self.conn = ConnectionState(params, Role.MASTER,
                                     created_local_us=self.local_now)
-        self.sim.trace.record(self.sim.now, self.name, "conn-created",
-                              aa=params.access_address, interval=params.interval)
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, self.name, "conn-created",
+                                  aa=params.access_address, interval=params.interval)
         # First anchor: the start of the transmit window (paper eq. 1).
         local_ref = self.clock.local_from_true(req_end_true_us)
         first_anchor = local_ref + SLOT_US + params.win_offset * SLOT_US
@@ -250,16 +251,18 @@ class MasterLinkLayer(LinkLayerDevice):
         if due_phy is not None:
             self.phy = phy_mode_from_mask(due_phy.m_to_s_phy)
             self.radio.rx_phy = self.phy
-            self.sim.trace.record(self.sim.now, self.name, "phy-applied",
-                                  event_count=conn.event_count,
-                                  phy=self.phy.value)
+            if self.sim.trace.enabled:
+                self.sim.trace.record(self.sim.now, self.name, "phy-applied",
+                                      event_count=conn.event_count,
+                                      phy=self.phy.value)
         channel = conn.channel_for_next_event()
         pdu = self.next_pdu_to_send()
         frame = self.transmit_pdu(pdu, channel)
-        self.sim.trace.record(self.sim.now, self.name, "master-tx",
-                              event_count=conn.event_count,
-                              sn=pdu.header.sn, nesn=pdu.header.nesn,
-                              channel=channel)
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, self.name, "master-tx",
+                                  event_count=conn.event_count,
+                                  sn=pdu.header.sn, nesn=pdu.header.nesn,
+                                  channel=channel)
         self._check_enc_activation(pdu)
         if pdu.is_control and len(pdu.payload) > 0 and self.encryption is None:
             control = decode_control_pdu(pdu.payload)
@@ -300,8 +303,9 @@ class MasterLinkLayer(LinkLayerDevice):
             return
         self.radio.stop_listening()
         self._awaiting_response = False
-        self.sim.trace.record(self.sim.now, self.name, "response-missed",
-                              event_count=self._require_conn().event_count)
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, self.name, "response-missed",
+                                  event_count=self._require_conn().event_count)
         self._end_event()
 
     def _on_frame(self, frame: RadioFrame, rssi_dbm: float) -> None:
@@ -324,17 +328,19 @@ class MasterLinkLayer(LinkLayerDevice):
             pdu = DataPdu.from_bytes(frame.pdu)
             is_new, _acked = conn.on_received_bits(pdu.header.sn, pdu.header.nesn)
             conn.note_valid_rx(self.local_now)
-            self.sim.trace.record(self.sim.now, self.name, "slave-heard",
-                                  event_count=conn.event_count,
-                                  sn=pdu.header.sn, nesn=pdu.header.nesn)
+            if self.sim.trace.enabled:
+                self.sim.trace.record(self.sim.now, self.name, "slave-heard",
+                                      event_count=conn.event_count,
+                                      sn=pdu.header.sn, nesn=pdu.header.nesn)
             if is_new and len(pdu.payload) > 0:
                 decrypted = self.decrypt_if_needed(pdu)
                 if decrypted is None:
                     return
                 self._handle_payload(decrypted)
         else:
-            self.sim.trace.record(self.sim.now, self.name, "crc-error",
-                                  event_count=conn.event_count)
+            if self.sim.trace.enabled:
+                self.sim.trace.record(self.sim.now, self.name, "crc-error",
+                                      event_count=conn.event_count)
         if self.is_connected:
             self._end_event()
 
@@ -358,8 +364,9 @@ class MasterLinkLayer(LinkLayerDevice):
                     session_key, self._enc_req.iv_m, control.iv_s,
                     is_master=True,
                 )
-                self.sim.trace.record(self.sim.now, self.name,
-                                      "encryption-enabled")
+                if self.sim.trace.enabled:
+                    self.sim.trace.record(self.sim.now, self.name,
+                                          "encryption-enabled")
         elif isinstance(control, FeatureReq):
             self.send_control(FeatureRsp(features=0))
         elif isinstance(control, LengthReq):
@@ -388,10 +395,11 @@ class MasterLinkLayer(LinkLayerDevice):
         due_update = conn.take_due_update()
         if due_update is not None:
             conn.apply_update(due_update)
-            self.sim.trace.record(self.sim.now, self.name,
-                                  "conn-update-applied",
-                                  event_count=conn.event_count,
-                                  interval=conn.params.interval)
+            if self.sim.trace.enabled:
+                self.sim.trace.record(self.sim.now, self.name,
+                                      "conn-update-applied",
+                                      event_count=conn.event_count,
+                                      interval=conn.params.interval)
             predicted = predicted + SLOT_US + due_update.win_offset * SLOT_US
         self._anchor_local = predicted
         self.schedule_local(predicted, self._connection_event,
@@ -483,6 +491,7 @@ class MasterLinkLayer(LinkLayerDevice):
         self._awaiting_response = False
         super().disconnect(reason)
         if never_established and self._target is not None:
-            self.sim.trace.record(self.sim.now, self.name,
-                                  "reconnect-attempt")
+            if self.sim.trace.enabled:
+                self.sim.trace.record(self.sim.now, self.name,
+                                      "reconnect-attempt")
             self.connect(self._target)

@@ -260,8 +260,9 @@ class SlaveLinkLayer(LinkLayerDevice):
         self._anchor_local = None
         self._events_since_anchor = 1
         self._terminate_after_response = None
-        self.sim.trace.record(self.sim.now, self.name, "conn-created",
-                              aa=params.access_address, interval=params.interval)
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, self.name, "conn-created",
+                                  aa=params.access_address, interval=params.interval)
         self._notify_connected()
         # Transmit window, paper eq. 1, measured from the CONNECT_REQ end.
         local_ref = self.local_now
@@ -290,9 +291,10 @@ class SlaveLinkLayer(LinkLayerDevice):
         if not self.is_connected:
             return
         self.radio.listen(channel)
-        self.sim.trace.record(self.sim.now, self.name, "window-open",
-                              channel=channel,
-                              event_count=self.conn.event_count)
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, self.name, "window-open",
+                                  channel=channel,
+                                  event_count=self.conn.event_count)
 
     def _window_timeout(self) -> None:
         if not self.is_connected:
@@ -306,8 +308,9 @@ class SlaveLinkLayer(LinkLayerDevice):
             self._pending_events.append(self._window_close)
             return
         self.radio.stop_listening()
-        self.sim.trace.record(self.sim.now, self.name, "event-missed",
-                              event_count=self.conn.event_count)
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, self.name, "event-missed",
+                                  event_count=self.conn.event_count)
         self._close_event(received=False)
 
     def _close_event(self, received: bool) -> None:
@@ -329,15 +332,17 @@ class SlaveLinkLayer(LinkLayerDevice):
         due_map = conn.take_due_channel_map()
         if due_map is not None:
             conn.apply_channel_map(due_map)
-            self.sim.trace.record(self.sim.now, self.name, "channel-map-applied",
-                                  event_count=conn.event_count)
+            if self.sim.trace.enabled:
+                self.sim.trace.record(self.sim.now, self.name, "channel-map-applied",
+                                      event_count=conn.event_count)
         due_phy = conn.take_due_phy()
         if due_phy is not None:
             self.phy = phy_mode_from_mask(due_phy.m_to_s_phy)
             self.radio.rx_phy = self.phy
-            self.sim.trace.record(self.sim.now, self.name, "phy-applied",
-                                  event_count=conn.event_count,
-                                  phy=self.phy.value)
+            if self.sim.trace.enabled:
+                self.sim.trace.record(self.sim.now, self.name, "phy-applied",
+                                      event_count=conn.event_count,
+                                      phy=self.phy.value)
         channel = conn.channel_for_next_event()
         anchor = self._anchor_local
         if anchor is None:
@@ -357,9 +362,10 @@ class SlaveLinkLayer(LinkLayerDevice):
                 window.start_us - anchor,
             )
             conn.apply_update(due_update)
-            self.sim.trace.record(self.sim.now, self.name, "conn-update-applied",
-                                  event_count=conn.event_count,
-                                  interval=conn.params.interval)
+            if self.sim.trace.enabled:
+                self.sim.trace.record(self.sim.now, self.name, "conn-update-applied",
+                                      event_count=conn.event_count,
+                                      interval=conn.params.interval)
             # Re-base the anchor prediction on the window start so the
             # following events hop on the new interval from there.
             self._anchor_local = window.start_us
@@ -392,10 +398,11 @@ class SlaveLinkLayer(LinkLayerDevice):
         # not (this is what makes the injected frame the new anchor point).
         self._anchor_local = self.clock.local_from_true(frame.start_us)
         self._events_since_anchor = 0
-        self.sim.trace.record(self.sim.now, self.name, "anchor",
-                              event_count=conn.event_count,
-                              anchor_us=frame.start_us,
-                              frame_id=frame.frame_id)
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, self.name, "anchor",
+                                  event_count=conn.event_count,
+                                  anchor_us=frame.start_us,
+                                  frame_id=frame.frame_id)
         crc_ok = verify_crc(frame, conn.params.crc_init)
         if crc_ok:
             pdu = DataPdu.from_bytes(frame.pdu)
@@ -407,9 +414,10 @@ class SlaveLinkLayer(LinkLayerDevice):
                     return  # MIC failure tore the connection down
                 self._handle_payload(decrypted)
         else:
-            self.sim.trace.record(self.sim.now, self.name, "crc-error",
-                                  event_count=conn.event_count,
-                                  frame_id=frame.frame_id)
+            if self.sim.trace.enabled:
+                self.sim.trace.record(self.sim.now, self.name, "crc-error",
+                                      event_count=conn.event_count,
+                                      frame_id=frame.frame_id)
         if self.conn is None or self.conn.terminated:
             return
         # Respond T_IFS after the received frame's end, whatever the CRC
@@ -437,14 +445,16 @@ class SlaveLinkLayer(LinkLayerDevice):
             try:
                 conn.schedule_update(control)
             except ConnectionStateError:
-                self.sim.trace.record(self.sim.now, self.name,
-                                      "update-rejected")
+                if self.sim.trace.enabled:
+                    self.sim.trace.record(self.sim.now, self.name,
+                                          "update-rejected")
         elif isinstance(control, ChannelMapInd):
             try:
                 conn.schedule_channel_map(control)
             except ConnectionStateError:
-                self.sim.trace.record(self.sim.now, self.name,
-                                      "chmap-rejected")
+                if self.sim.trace.enabled:
+                    self.sim.trace.record(self.sim.now, self.name,
+                                          "chmap-rejected")
         elif isinstance(control, EncReq):
             self._handle_enc_req(control)
         elif isinstance(control, PhyReq):
@@ -453,8 +463,9 @@ class SlaveLinkLayer(LinkLayerDevice):
             try:
                 conn.schedule_phy(control)
             except ConnectionStateError:
-                self.sim.trace.record(self.sim.now, self.name,
-                                      "phy-update-rejected")
+                if self.sim.trace.enabled:
+                    self.sim.trace.record(self.sim.now, self.name,
+                                          "phy-update-rejected")
         elif isinstance(control, LengthReq):
             self.send_control(LengthRsp())
         elif isinstance(control, FeatureReq):
@@ -497,17 +508,19 @@ class SlaveLinkLayer(LinkLayerDevice):
         assert conn.current_channel is not None
         pdu = self.next_pdu_to_send()
         self.transmit_pdu(pdu, conn.current_channel)
-        self.sim.trace.record(self.sim.now, self.name, "slave-response",
-                              sn=pdu.header.sn, nesn=pdu.header.nesn,
-                              event_count=conn.event_count)
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, self.name, "slave-response",
+                                  sn=pdu.header.sn, nesn=pdu.header.nesn,
+                                  event_count=conn.event_count)
         if (self._pending_encryption is not None and pdu.is_control
                 and len(pdu.payload) > 0 and self.encryption is None):
             control = decode_control_pdu(pdu.payload)
             if isinstance(control, EncRsp):
                 self.encryption = self._pending_encryption
                 self._pending_encryption = None
-                self.sim.trace.record(self.sim.now, self.name,
-                                      "encryption-enabled")
+                if self.sim.trace.enabled:
+                    self.sim.trace.record(self.sim.now, self.name,
+                                          "encryption-enabled")
         if self._terminate_after_response is not None:
             reason = self._terminate_after_response
             self._terminate_after_response = None

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.errors import MediumError
 from repro.phy.modulation import PhyMode, air_time_us
@@ -11,13 +11,17 @@ from repro.phy.modulation import PhyMode, air_time_us
 _frame_ids = itertools.count(1)
 
 
-@dataclass
 class RadioFrame:
     """A frame in flight on the simulated medium.
 
     This is the PHY-level view: raw (already whitened, CRC-appended) PDU
     bytes plus the physical coordinates of the emission.  Link-Layer
     semantics live in :mod:`repro.ll`.
+
+    One instance (plus a per-receiver copy) is allocated for every frame a
+    sweep puts on air, so this is a plain ``__slots__`` class rather than a
+    dataclass — Python 3.9, the oldest supported interpreter, has no
+    ``@dataclass(slots=True)``.
 
     Attributes:
         access_address: 32-bit access address the frame is addressed under.
@@ -35,24 +39,40 @@ class RadioFrame:
         frame_id: unique id for tracing.
     """
 
-    access_address: int
-    pdu: bytes
-    crc: int
-    channel: int
-    start_us: float
-    tx_power_dbm: float
-    phy: PhyMode = PhyMode.LE_1M
-    sender_id: int = -1
-    corrupted: bool = False
-    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    __slots__ = (
+        "access_address", "pdu", "crc", "channel", "start_us",
+        "tx_power_dbm", "phy", "sender_id", "corrupted", "frame_id",
+    )
 
-    def __post_init__(self) -> None:
-        if not 0 <= self.access_address < 1 << 32:
-            raise MediumError(f"access address out of range: {self.access_address:#x}")
-        if not 0 <= self.crc < 1 << 24:
-            raise MediumError(f"CRC out of range: {self.crc:#x}")
-        if not 0 <= self.channel < 40:
-            raise MediumError(f"invalid channel: {self.channel}")
+    def __init__(
+        self,
+        access_address: int,
+        pdu: bytes,
+        crc: int,
+        channel: int,
+        start_us: float,
+        tx_power_dbm: float,
+        phy: PhyMode = PhyMode.LE_1M,
+        sender_id: int = -1,
+        corrupted: bool = False,
+        frame_id: Optional[int] = None,
+    ):
+        if not 0 <= access_address < 1 << 32:
+            raise MediumError(f"access address out of range: {access_address:#x}")
+        if not 0 <= crc < 1 << 24:
+            raise MediumError(f"CRC out of range: {crc:#x}")
+        if not 0 <= channel < 40:
+            raise MediumError(f"invalid channel: {channel}")
+        self.access_address = access_address
+        self.pdu = pdu
+        self.crc = crc
+        self.channel = channel
+        self.start_us = start_us
+        self.tx_power_dbm = tx_power_dbm
+        self.phy = phy
+        self.sender_id = sender_id
+        self.corrupted = corrupted
+        self.frame_id = next(_frame_ids) if frame_id is None else frame_id
 
     @property
     def duration_us(self) -> float:

@@ -20,6 +20,7 @@ from repro.runner.cache import (
     ResultCache,
     code_version_token,
     default_cache_dir,
+    source_tree_token,
     stable_trial_key,
 )
 from repro.runner.executor import (
@@ -40,5 +41,6 @@ __all__ = [
     "merge_trial_metrics",
     "parallel_map",
     "resolve_jobs",
+    "source_tree_token",
     "stable_trial_key",
 ]

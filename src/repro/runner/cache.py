@@ -7,9 +7,14 @@ under a key derived from
 * a **stable hash of the trial dataclass** — every field, in declaration
   order, rendered via ``repr`` (seeds, geometry, SCA, flags: any edit to
   any field produces a different key), and
-* a **code-version token** — a hash over the source text of the whole
-  ``repro`` package, so results computed by older code are never replayed
-  after the simulator changes.
+* a **code-version token** — a hash over the source text of every
+  *result-relevant* module of the ``repro`` package (simulator, link layer,
+  PHY, crypto, kernels, devices, experiments, ...), so results computed by
+  older code are never replayed after the simulation changes.  Modules
+  that cannot influence trial bytes — the static-analysis toolkit
+  (``lintkit``), reporting (``analysis``), the CLI — are excluded, so
+  editing a lint checker or a report renderer does not spuriously flush
+  the cache.
 
 Entries are pickle files sharded two levels deep under the cache root
 (``$REPRO_CACHE_DIR`` or ``~/.cache/repro-injectable/trials``).  A corrupt
@@ -32,6 +37,25 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: Bump to invalidate every cached result regardless of code hashing.
 CACHE_SCHEMA_VERSION = 1
 
+#: Top-level entries of the ``repro`` package whose source can never change
+#: trial results.  Everything *not* listed here feeds the code-version
+#: token: when in doubt a module hashes in (a spurious cache flush is
+#: cheap; a stale replay is a correctness bug).
+CACHE_IRRELEVANT_PREFIXES = (
+    "lintkit/",       # static analysis: reads the tree, never runs trials
+    "analysis/",      # rendering/statistics over finished results
+    "cli.py",         # argument parsing around the library entry points
+    "__main__.py",
+)
+
+
+def _is_result_relevant(relpath: str) -> bool:
+    """Whether the source file at ``relpath`` feeds the code token."""
+    return not any(
+        relpath == prefix or relpath.startswith(prefix)
+        for prefix in CACHE_IRRELEVANT_PREFIXES
+    )
+
 
 def default_cache_dir() -> Path:
     """The cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-injectable``."""
@@ -43,22 +67,38 @@ def default_cache_dir() -> Path:
     return base / "repro-injectable" / "trials"
 
 
+def source_tree_token(package_root: Path,
+                      schema_version: int = CACHE_SCHEMA_VERSION) -> str:
+    """Hash of every result-relevant ``.py`` file under ``package_root``.
+
+    Files are walked in sorted order and keyed by relative POSIX path, so
+    the token is identical across machines and filesystems for the same
+    source tree.  Files matching :data:`CACHE_IRRELEVANT_PREFIXES` are
+    skipped — see the module docstring for the rationale.
+    """
+    package_root = Path(package_root)
+    digest = hashlib.sha256(f"schema:{schema_version}".encode())
+    for path in sorted(package_root.rglob("*.py")):
+        relpath = path.relative_to(package_root).as_posix()
+        if not _is_result_relevant(relpath):
+            continue
+        digest.update(relpath.encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
 @lru_cache(maxsize=1)
 def code_version_token() -> str:
-    """Hash of every ``.py`` file of the ``repro`` package.
+    """Code-version token of the installed ``repro`` package.
 
-    Any source edit — simulator, link layer, devices, experiments — yields
-    a new token, so stale results can never be replayed.  Computed once per
-    process (reading ~200 small files takes milliseconds).
+    Any edit to a result-relevant source file — simulator, link layer,
+    devices, experiments, codec kernels — yields a new token, so stale
+    results can never be replayed.  Computed once per process (reading
+    ~200 small files takes milliseconds).
     """
     import repro
 
-    package_root = Path(repro.__file__).parent
-    digest = hashlib.sha256(f"schema:{CACHE_SCHEMA_VERSION}".encode())
-    for path in sorted(package_root.rglob("*.py")):
-        digest.update(str(path.relative_to(package_root)).encode())
-        digest.update(path.read_bytes())
-    return digest.hexdigest()
+    return source_tree_token(Path(repro.__file__).parent)
 
 
 def stable_trial_key(trial: Any, token: Optional[str] = None) -> str:
@@ -92,7 +132,7 @@ class ResultCache:
     """
 
     def __init__(self, root: Optional[Path] = None,
-                 token: Optional[str] = None):
+                 token: Optional[str] = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
         self._token = token
         self.hits = 0

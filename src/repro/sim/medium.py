@@ -44,7 +44,6 @@ experiment sweep, so:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
 from itertools import chain
 from typing import TYPE_CHECKING, Optional
 
@@ -59,22 +58,26 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.transceiver import Transceiver
 
 
-@dataclass
 class _ActiveTransmission:
-    """Bookkeeping for a frame currently on air."""
+    """Bookkeeping for a frame currently on air (one per transmitted frame)."""
 
-    frame: RadioFrame
-    sender: "Transceiver"
-    # Received power per receiver id, sampled once at start.
-    rx_power_dbm: dict[int, float] = field(default_factory=dict)
+    __slots__ = ("frame", "sender", "rx_power_dbm")
+
+    def __init__(self, frame: RadioFrame, sender: "Transceiver"):
+        self.frame = frame
+        self.sender = sender
+        # Received power per receiver id, sampled once at start.
+        self.rx_power_dbm: dict[int, float] = {}
 
 
-@dataclass
 class _ReceiverLock:
     """A receiver synchronised to one in-flight frame."""
 
-    frame_id: int
-    until_us: float
+    __slots__ = ("frame_id", "until_us")
+
+    def __init__(self, frame_id: int, until_us: float):
+        self.frame_id = frame_id
+        self.until_us = until_us
 
 
 class Medium:

@@ -13,13 +13,14 @@ most recent history instead of growing without bound.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
 
-@dataclass(frozen=True)
 class TraceRecord:
     """One trace entry.
+
+    A ``__slots__`` class, not a dataclass: one instance is allocated per
+    recorded event, millions per traced sweep.
 
     Attributes:
         time_us: true simulator time of the event.
@@ -29,10 +30,18 @@ class TraceRecord:
         detail: free-form payload (kept small; no object graphs).
     """
 
-    time_us: float
-    source: str
-    kind: str
-    detail: dict[str, Any] = field(default_factory=dict)
+    __slots__ = ("time_us", "source", "kind", "detail")
+
+    def __init__(self, time_us: float, source: str, kind: str,
+                 detail: Optional[dict[str, Any]] = None):
+        self.time_us = time_us
+        self.source = source
+        self.kind = kind
+        self.detail = detail if detail is not None else {}
+
+    def __repr__(self) -> str:
+        return (f"TraceRecord(t={self.time_us}, source={self.source!r}, "
+                f"kind={self.kind!r}, detail={self.detail!r})")
 
 
 class Trace:

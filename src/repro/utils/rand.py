@@ -26,7 +26,7 @@ class RngStreams:
         >>> phase = streams.get("collision-phase")
     """
 
-    def __init__(self, seed: int):
+    def __init__(self, seed: int) -> None:
         if seed < 0:
             raise ValueError(f"seed must be non-negative, got {seed}")
         self._seed = int(seed)

@@ -1,0 +1,9 @@
+"""Fixture: ambient entropy and wall clocks (nondeterministic-call)."""
+
+import random
+import time
+
+
+def jitter_sample():
+    # nondeterministic-call: module-level random plus a wall-clock read
+    return random.random() + time.time()

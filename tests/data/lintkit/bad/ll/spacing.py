@@ -1,0 +1,5 @@
+"""Fixture: re-literalised spec constant (magic-number)."""
+
+
+def response_deadline(frame_end_us):
+    return frame_end_us + 150.0  # magic-number: T_IFS re-typed

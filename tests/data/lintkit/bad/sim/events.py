@@ -1,0 +1,9 @@
+"""Fixture: hot-path class without __slots__ (missing-slots positive)."""
+
+
+class FixtureEvent:
+    """Per-event handle that forgot to declare __slots__."""
+
+    def __init__(self, time_us, handler):
+        self.time_us = time_us
+        self.handler = handler

@@ -1,0 +1,9 @@
+"""Fixture: deterministic twin of bad/core/clockleak.py."""
+
+from repro.utils.rand import RngStreams
+
+
+def jitter_sample(seed):
+    streams = RngStreams(seed)
+    # Seeded stream draw plus simulated time: both reproducible.
+    return float(streams.get("jitter").uniform(0.0, 1.0))

@@ -1,0 +1,13 @@
+"""Fixture: picklable plain-data result (result-capture negative)."""
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class PlainTrialResult:
+    """Scalars and plain containers only: survives pickle and replay."""
+
+    success: bool
+    attempts: int = 0
+    metrics: Optional[dict] = None

@@ -1,0 +1,7 @@
+"""Fixture: spec constant from the canonical module (magic-number negative)."""
+
+from repro.utils.units import T_IFS_US
+
+
+def response_deadline(frame_end_us):
+    return frame_end_us + T_IFS_US

@@ -1,0 +1,11 @@
+"""Fixture: hot-path class done right (missing-slots negative)."""
+
+
+class FixtureEvent:
+    """Per-event handle with __slots__."""
+
+    __slots__ = ("time_us", "handler")
+
+    def __init__(self, time_us, handler):
+        self.time_us = time_us
+        self.handler = handler

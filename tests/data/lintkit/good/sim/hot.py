@@ -1,0 +1,27 @@
+"""Fixture: the compliant twin of bad/sim/hot.py."""
+
+
+class HotPath:
+    def __init__(self, sim, metrics):
+        self.sim = sim
+        self._metrics = metrics
+        self._m_tx = metrics.counter("fixture.tx")
+
+    def churn(self, frames):
+        total = 0
+        for channel in sorted({37, 38, 39}):  # sorted: deterministic order
+            total += channel
+        trace = self.sim.trace
+        for frame in frames:
+            if abs(frame.start_us - 5.0) <= 1e-9:  # tolerance compare
+                total += 1
+            if self._metrics.enabled:
+                self._m_tx.inc()
+            if trace.enabled:
+                trace.record(frame.start_us, "fixture", "tx")
+        return total
+
+    def early_return_guard(self, frame):
+        if not self.sim.trace.enabled:
+            return
+        self.sim.trace.record(frame.start_us, "fixture", "tx")

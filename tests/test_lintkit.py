@@ -1,0 +1,201 @@
+"""Tests for the repro.lintkit static-analysis pass.
+
+Three layers:
+
+* **Fixture trees** under ``tests/data/lintkit``: ``bad/`` holds one
+  deliberate violation per checker (plus an inline-waived one), ``good/``
+  holds the compliant twin of every bad snippet.  Each checker must fire
+  on its bad fixture and stay silent on the whole good tree.
+* **Golden report**: the JSON rendering of the bad tree is pinned byte
+  for byte, so report shape and fingerprints cannot drift silently.
+* **Meta-test**: the live ``repro`` package has zero findings beyond the
+  committed ``lint-baseline.json`` — the same gate CI enforces.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lintkit import (
+    ALL_CHECKERS,
+    Baseline,
+    checker_index,
+    default_package_root,
+    load_baseline,
+    run_lint,
+    save_baseline,
+)
+
+FIXTURES = Path(__file__).parent / "data" / "lintkit"
+BAD_TREE = FIXTURES / "bad"
+GOOD_TREE = FIXTURES / "good"
+GOLDEN_REPORT = FIXTURES / "golden_report.json"
+REPO_BASELINE = default_package_root().parent.parent / "lint-baseline.json"
+
+#: checker id -> (fixture path fragment, message fragment) expected in bad/.
+EXPECTED_BAD = {
+    "nondeterministic-call": ("core/clockleak.py", "nondeterministic"),
+    "set-iteration": ("sim/hot.py", "iteration over a set"),
+    "float-time-eq": ("sim/hot.py", "==/!="),
+    "magic-number": ("ll/spacing.py", "T_IFS_US"),
+    "missing-slots": ("sim/events.py", "__slots__"),
+    "telemetry-guard": ("sim/hot.py", "guard"),
+    "result-capture": ("experiments/results.py", "Simulator"),
+}
+
+
+class TestFixtureTrees:
+    def test_every_checker_fires_on_bad_tree(self):
+        report = run_lint(BAD_TREE)
+        fired = {f.checker for f in report.findings}
+        assert fired == set(c.id for c in ALL_CHECKERS)
+
+    @pytest.mark.parametrize("checker_id", sorted(EXPECTED_BAD))
+    def test_bad_fixture_flags_expected_site(self, checker_id):
+        path_frag, msg_frag = EXPECTED_BAD[checker_id]
+        report = run_lint(BAD_TREE)
+        hits = [f for f in report.findings if f.checker == checker_id]
+        assert hits, f"{checker_id} produced no findings on bad/"
+        assert any(path_frag in f.path and msg_frag in f.message
+                   for f in hits), [f.render() for f in hits]
+
+    @pytest.mark.parametrize("checker_id", sorted(EXPECTED_BAD))
+    def test_good_tree_is_silent(self, checker_id):
+        report = run_lint(GOOD_TREE, checkers=[checker_index()[checker_id]])
+        assert report.findings == [], [f.render() for f in report.findings]
+        assert report.ok
+
+    def test_inline_waiver_suppresses_exactly_one(self):
+        report = run_lint(BAD_TREE)
+        assert len(report.suppressed) == 1
+        (waived,) = report.suppressed
+        assert waived.checker == "telemetry-guard"
+        assert waived.path == "sim/hot.py"
+
+    def test_findings_are_sorted_and_fingerprinted(self):
+        report = run_lint(BAD_TREE)
+        keys = [f.sort_key() for f in report.findings]
+        assert keys == sorted(keys)
+        fps = [f.fingerprint for f in report.findings]
+        assert all(len(fp) == 16 for fp in fps)
+        assert len(set(fps)) == len(fps), "fingerprints must be unique"
+
+
+class TestGoldenReport:
+    def test_bad_tree_json_matches_golden(self):
+        report = run_lint(BAD_TREE)
+        golden = GOLDEN_REPORT.read_text()
+        assert report.to_json() + "\n" == golden, (
+            "lint report for tests/data/lintkit/bad drifted from the "
+            "golden copy; if the change is intentional regenerate with "
+            "run_lint(BAD_TREE).to_json()"
+        )
+
+    def test_golden_report_shape(self):
+        doc = json.loads(GOLDEN_REPORT.read_text())
+        assert doc["version"] == 1
+        assert doc["ok"] is False
+        assert doc["counts"]["findings"] == len(doc["findings"])
+        assert doc["counts"]["suppressed"] == 1
+        for entry in doc["findings"]:
+            assert set(entry) == {"checker", "path", "line", "col",
+                                  "message", "snippet", "fingerprint"}
+            # Relative POSIX paths only: golden file is machine-portable.
+            assert not entry["path"].startswith("/")
+
+
+class TestBaselineMechanics:
+    def test_baseline_grandfathers_findings(self, tmp_path):
+        report = run_lint(BAD_TREE)
+        path = tmp_path / "baseline.json"
+        save_baseline(path, report.findings, reason="fixture grandfather")
+        rebaselined = run_lint(BAD_TREE, baseline=load_baseline(path))
+        assert rebaselined.findings == []
+        assert len(rebaselined.baselined) == len(report.findings)
+        assert rebaselined.ok
+
+    def test_stale_baseline_entries_reported(self, tmp_path):
+        report = run_lint(BAD_TREE)
+        path = tmp_path / "baseline.json"
+        save_baseline(path, report.findings, reason="fixture grandfather")
+        doc = json.loads(path.read_text())
+        doc["entries"]["deadbeefdeadbeef"] = {
+            "checker": "magic-number", "path": "gone.py",
+            "message": "fixed long ago", "reason": "stale",
+        }
+        path.write_text(json.dumps(doc))
+        rebaselined = run_lint(BAD_TREE, baseline=load_baseline(path))
+        assert rebaselined.stale_baseline == ["deadbeefdeadbeef"]
+
+    def test_missing_baseline_file_is_empty(self, tmp_path):
+        baseline = load_baseline(tmp_path / "nope.json")
+        assert isinstance(baseline, Baseline)
+        assert not baseline.entries
+
+    def test_fingerprints_survive_line_drift(self, tmp_path):
+        """Inserting lines above a finding must not churn the baseline."""
+        src = tmp_path / "ll"
+        src.mkdir()
+        (src / "spacing.py").write_text(
+            "def deadline(end_us):\n    return end_us + 150.0\n")
+        before = run_lint(tmp_path).findings
+        (src / "spacing.py").write_text(
+            "# comment\n# another\n\n"
+            "def deadline(end_us):\n    return end_us + 150.0\n")
+        after = run_lint(tmp_path).findings
+        assert [f.fingerprint for f in before] == \
+            [f.fingerprint for f in after]
+        assert before[0].line != after[0].line
+
+
+class TestLiveTree:
+    def test_repo_has_no_findings_beyond_baseline(self):
+        """The gate CI enforces: zero non-baselined findings on src/repro."""
+        baseline = load_baseline(REPO_BASELINE)
+        report = run_lint(baseline=baseline)
+        assert report.ok, "\n" + "\n".join(
+            f.render() for f in report.findings)
+        assert not report.stale_baseline
+
+    def test_repo_baseline_is_small_and_documented(self):
+        baseline = load_baseline(REPO_BASELINE)
+        assert len(baseline.entries) <= 10, (
+            "the baseline is for grandfathered findings only; fix new "
+            "findings instead of baselining them")
+        for entry in baseline.entries.values():
+            assert entry.get("reason"), "every baseline entry needs a reason"
+
+
+class TestCli:
+    def test_lint_cli_passes_on_repo(self, capsys):
+        assert main(["lint", "--baseline", str(REPO_BASELINE)]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_lint_cli_fails_on_bad_tree(self, capsys):
+        code = main(["lint", "--root", str(BAD_TREE),
+                     "--baseline", str(BAD_TREE / "absent.json")])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "[telemetry-guard]" in out
+
+    def test_lint_cli_json_format(self, capsys):
+        code = main(["lint", "--format", "json", "--root", str(GOOD_TREE),
+                     "--baseline", str(GOOD_TREE / "absent.json")])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["counts"]["findings"] == 0
+
+    def test_lint_cli_write_baseline_roundtrip(self, tmp_path, capsys):
+        target = tmp_path / "baseline.json"
+        assert main(["lint", "--root", str(BAD_TREE),
+                     "--baseline", str(target), "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert target.exists()
+        assert main(["lint", "--root", str(BAD_TREE),
+                     "--baseline", str(target)]) == 0
