@@ -48,6 +48,27 @@ def render_series(title: str, rows: Sequence[tuple]) -> str:
     return "\n".join(lines)
 
 
+def render_failure_taxonomy(title: str, failures: Mapping) -> str:
+    """Render campaign failures grouped by kind.
+
+    Args:
+        title: table caption.
+        failures: mapping of failure kind (``timeout``/``crash``/
+            ``error``) → list of failed unit ids.
+    """
+    lines = [title, "=" * len(title)]
+    if not failures:
+        lines.append("(no failures)")
+        return "\n".join(lines)
+    for kind in sorted(failures):
+        unit_ids = list(failures[kind])
+        shown = ", ".join(unit_ids[:6])
+        if len(unit_ids) > 6:
+            shown += f", … ({len(unit_ids) - 6} more)"
+        lines.append(f"{kind:>16} : {len(unit_ids):>3}  {shown}")
+    return "\n".join(lines)
+
+
 def render_metrics_table(title: str, snapshot: Mapping) -> str:
     """Render a telemetry snapshot (or merge of snapshots) as text.
 

@@ -1,0 +1,103 @@
+"""Campaign report rendering.
+
+The report is a pure function of the journal's unit records and the
+spec's deterministic grid expansion — never of wall time, cache
+temperature, worker count, sharding, or how many interruptions it took
+to finish.  That is what makes the acceptance check meaningful: an
+interrupted-and-resumed campaign renders byte-identically to an
+uninterrupted one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.reporting import (
+    render_distribution_table,
+    render_failure_taxonomy,
+    render_metrics_table,
+    render_series,
+)
+from repro.campaign.engine import CampaignState
+
+
+def render_status(state: CampaignState) -> str:
+    """Short progress summary for ``repro campaign status``."""
+    spec = state.spec
+    rows = [
+        ("fingerprint", state.fingerprint[:16]),
+        ("axes", ", ".join(axis.experiment for axis in spec.axes)),
+        ("units", str(state.total)),
+        ("completed", f"{state.done}/{state.total}"),
+        ("ok", str(state.ok_count)),
+        ("failed", str(state.failed_count)),
+        ("pending", str(len(state.pending))),
+        ("runs recorded", str(state.runs)),
+    ]
+    return render_series(f"Campaign {spec.name!r}", rows)
+
+
+def build_report(state: CampaignState) -> str:
+    """Full campaign report: overview, per-axis tables, failures, metrics."""
+    spec = state.spec
+    sections: List[str] = []
+
+    sections.append(render_series(f"Campaign {spec.name!r}", [
+        ("fingerprint", state.fingerprint[:16]),
+        ("units", str(state.total)),
+        ("ok", str(state.ok_count)),
+        ("failed", str(state.failed_count)),
+        ("pending", str(len(state.pending))),
+    ]))
+
+    for axis_index, axis in enumerate(spec.axes):
+        axis_units = [u for u in state.units if u.axis == axis_index]
+        samples: Dict[str, List[int]] = {}
+        completed = successes = 0
+        for unit in axis_units:
+            samples.setdefault(unit.config_key, [])
+            record = state.records.get(unit.unit_id)
+            if record is None or record.status != "ok":
+                continue
+            completed += 1
+            result = record.result or {}
+            if result.get("success"):
+                successes += 1
+                samples[unit.config_key].append(int(result["attempts"]))
+        title = (f"axis {axis_index}: {axis.experiment} "
+                 f"({len(axis_units)} units)")
+        nonempty = {key: values for key, values in samples.items() if values}
+        if nonempty:
+            table = render_distribution_table(title, "configuration",
+                                              nonempty)
+        else:
+            table = f"{title}\n  (no successful units)"
+        rate = successes / completed if completed else 0.0
+        sections.append(
+            f"{table}\n"
+            f"success rate: {successes}/{completed} completed "
+            f"({rate:.2f})")
+
+    failures: Dict[str, List[str]] = {}
+    for unit in state.units:
+        record = state.records.get(unit.unit_id)
+        if record is None or record.status == "ok":
+            continue
+        kind = (record.failure or {}).get("kind", "unknown")
+        failures.setdefault(kind, []).append(unit.unit_id)
+    sections.append(render_failure_taxonomy("Failure taxonomy", failures))
+
+    snapshots = [
+        state.records[unit.unit_id].metrics
+        for unit in state.units
+        if state.records.get(unit.unit_id) is not None
+        and state.records[unit.unit_id].metrics
+    ]
+    if snapshots:
+        from repro.telemetry import merge_snapshots
+
+        sections.append(render_metrics_table(
+            f"Merged telemetry ({len(snapshots)} instrumented units)",
+            merge_snapshots(snapshots)))
+
+    return "\n\n".join(sections)

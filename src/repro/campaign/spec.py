@@ -1,0 +1,199 @@
+"""Declarative campaign specifications (plain dict / JSON, stdlib only).
+
+A campaign is a sweep-of-sweeps: a list of *axes*, each naming a
+registered experiment plus keyword parameters for its ``trial_units()``
+grid expansion, with campaign-wide defaults (seed, connections per
+configuration, metrics collection) and an execution policy (per-trial
+timeout, bounded retry with exponential backoff).
+
+Specs are deliberately boring data: a JSON object round-trips through
+:meth:`CampaignSpec.from_dict` / :meth:`CampaignSpec.to_dict` without
+loss, and :attr:`CampaignSpec.fingerprint` hashes the canonical form so
+a journal can refuse to resume under a different spec.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+#: Bump when the spec schema changes incompatibly.
+SPEC_VERSION = 1
+
+#: Spec keys interpreted by the engine (everything else is rejected so
+#: typos fail loudly instead of silently running the default grid).
+_TOP_LEVEL_KEYS = frozenset((
+    "version", "name", "axes", "seed", "connections", "collect_metrics",
+    "timeout_s", "max_retries", "backoff_s",
+))
+
+
+@dataclass(frozen=True)
+class AxisSpec:
+    """One campaign axis: an experiment name plus grid parameters.
+
+    ``params`` is passed verbatim as keyword arguments to the registered
+    experiment's ``trial_units()`` provider (campaign-wide defaults fill
+    ``base_seed`` / ``n_connections`` / ``collect_metrics`` when the
+    provider accepts them and the axis does not override them).
+    """
+
+    experiment: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AxisSpec":
+        """Parse ``{"experiment": name, **params}``."""
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(f"axis must be an object, got {data!r}")
+        if "experiment" not in data:
+            raise ConfigurationError(f"axis missing 'experiment': {data!r}")
+        experiment = data["experiment"]
+        if not isinstance(experiment, str) or not experiment:
+            raise ConfigurationError(
+                f"axis 'experiment' must be a non-empty string, "
+                f"got {experiment!r}")
+        params = {k: v for k, v in data.items() if k != "experiment"}
+        return cls(experiment=experiment, params=params)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical plain-dict form."""
+        out: Dict[str, Any] = {"experiment": self.experiment}
+        out.update(self.params)
+        return out
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A complete declarative campaign.
+
+    Attributes:
+        name: display name, recorded in the journal header.
+        axes: the experiment grids to expand, in order.
+        seed: campaign-wide default ``base_seed`` for providers that take
+            one (``None`` = each experiment's historical default).
+        connections: campaign-wide default ``n_connections`` ditto.
+        collect_metrics: run every trial instrumented and merge the
+            snapshots into the campaign report.
+        timeout_s: per-trial watchdog; an overrunning worker is killed
+            and the unit retried (``None`` = no deadline).
+        max_retries: retries for ``timeout``/``crash`` units before
+            quarantining them as ``failed``.
+        backoff_s: base of the exponential retry backoff.
+    """
+
+    name: str
+    axes: Tuple[AxisSpec, ...]
+    seed: Optional[int] = None
+    connections: Optional[int] = None
+    collect_metrics: bool = False
+    timeout_s: Optional[float] = None
+    max_retries: int = 2
+    backoff_s: float = 0.25
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        """Parse and validate a plain-dict (JSON) spec."""
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"campaign spec must be an object, got {type(data).__name__}")
+        unknown = sorted(set(data) - _TOP_LEVEL_KEYS)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown campaign spec key(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(_TOP_LEVEL_KEYS))})")
+        version = data.get("version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise ConfigurationError(
+                f"unsupported campaign spec version {version!r} "
+                f"(this build reads version {SPEC_VERSION})")
+        name = data.get("name")
+        if not isinstance(name, str) or not name:
+            raise ConfigurationError("campaign spec needs a non-empty 'name'")
+        raw_axes = data.get("axes")
+        if not isinstance(raw_axes, (list, tuple)) or not raw_axes:
+            raise ConfigurationError(
+                "campaign spec needs a non-empty 'axes' list")
+        axes = tuple(AxisSpec.from_dict(axis) for axis in raw_axes)
+
+        def _opt(key: str, kind: type, allow_none: bool = True) -> Any:
+            value = data.get(key)
+            if value is None:
+                if allow_none:
+                    return None
+                raise ConfigurationError(f"spec key {key!r} may not be null")
+            if kind is float and isinstance(value, int) \
+                    and not isinstance(value, bool):
+                value = float(value)
+            if not isinstance(value, kind) or isinstance(value, bool) \
+                    and kind is not bool:
+                raise ConfigurationError(
+                    f"spec key {key!r} must be {kind.__name__}, "
+                    f"got {value!r}")
+            return value
+
+        spec = cls(
+            name=name,
+            axes=axes,
+            seed=_opt("seed", int),
+            connections=_opt("connections", int),
+            collect_metrics=bool(data.get("collect_metrics", False)),
+            timeout_s=_opt("timeout_s", float),
+            max_retries=(_opt("max_retries", int)
+                         if data.get("max_retries") is not None else 2),
+            backoff_s=(_opt("backoff_s", float)
+                       if data.get("backoff_s") is not None else 0.25),
+        )
+        if spec.connections is not None and spec.connections <= 0:
+            raise ConfigurationError("'connections' must be positive")
+        if spec.max_retries < 0:
+            raise ConfigurationError("'max_retries' must be >= 0")
+        if spec.timeout_s is not None and spec.timeout_s <= 0:
+            raise ConfigurationError("'timeout_s' must be positive")
+        return spec
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "CampaignSpec":
+        """Load a spec from a JSON file."""
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise ConfigurationError(
+                f"cannot read campaign spec {path}: {exc}") from exc
+        return cls.from_dict(data)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical plain-dict form (round-trips through from_dict)."""
+        out: Dict[str, Any] = {
+            "version": SPEC_VERSION,
+            "name": self.name,
+            "axes": [axis.to_dict() for axis in self.axes],
+        }
+        if self.seed is not None:
+            out["seed"] = self.seed
+        if self.connections is not None:
+            out["connections"] = self.connections
+        if self.collect_metrics:
+            out["collect_metrics"] = True
+        if self.timeout_s is not None:
+            out["timeout_s"] = self.timeout_s
+        out["max_retries"] = self.max_retries
+        out["backoff_s"] = self.backoff_s
+        return out
+
+    @property
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical JSON form.
+
+        The journal stores this; ``resume`` refuses to append results
+        computed under a different spec.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()

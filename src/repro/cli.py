@@ -7,6 +7,7 @@ Exposes the reproduction's main entry points without writing a script::
     repro capture --duration 2
     repro capture --format pcap --scenario a --output run.pcap
     repro metrics hop --jobs 4
+    repro campaign run examples/smoke-campaign.json --jobs 4
     repro crack
 
 Each subcommand builds a deterministic world from ``--seed``, runs it, and
@@ -20,6 +21,12 @@ import sys
 from typing import Optional, Sequence
 
 from repro.analysis.reporting import render_distribution_table, render_series
+
+#: CLI shorthand → display names used by the scenario/device registries.
+SCENARIO_KEYS = {"a": "A (use feature)", "b": "B (slave hijack)",
+                 "c": "C (master hijack)", "d": "D (MitM)"}
+DEVICE_KEYS = {"bulb": "lightbulb", "keyfob": "keyfob",
+               "watch": "smartwatch"}
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -53,12 +60,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def _cmd_scenario(args: argparse.Namespace) -> int:
     from repro.experiments.scenarios import DEVICES, SCENARIOS
 
-    scenario_keys = {"a": "A (use feature)", "b": "B (slave hijack)",
-                     "c": "C (master hijack)", "d": "D (MitM)"}
-    device_keys = {"bulb": "lightbulb", "keyfob": "keyfob",
-                   "watch": "smartwatch"}
-    runner = SCENARIOS[scenario_keys[args.which]]
-    device_cls = DEVICES[device_keys[args.device]]
+    runner = SCENARIOS[SCENARIO_KEYS[args.which]]
+    device_cls = DEVICES[DEVICE_KEYS[args.device]]
     ok, attempts = runner(device_cls, args.seed)
     print(render_series(
         f"Scenario {args.which.upper()} vs {args.device}",
@@ -103,12 +106,8 @@ def _cmd_capture(args: argparse.Namespace) -> int:
     if args.scenario:
         from repro.experiments.scenarios import DEVICES, SCENARIOS
 
-        scenario_keys = {"a": "A (use feature)", "b": "B (slave hijack)",
-                         "c": "C (master hijack)", "d": "D (MitM)"}
-        device_keys = {"bulb": "lightbulb", "keyfob": "keyfob",
-                       "watch": "smartwatch"}
-        runner = SCENARIOS[scenario_keys[args.scenario]]
-        ok, attempts = runner(DEVICES[device_keys[args.device]], args.seed,
+        runner = SCENARIOS[SCENARIO_KEYS[args.scenario]]
+        ok, attempts = runner(DEVICES[DEVICE_KEYS[args.device]], args.seed,
                               world_hook=attach)
         print(f"scenario {args.scenario.upper()} vs {args.device}: "
               f"{'OK' if ok else 'FAILED'} ({attempts} attempt(s))")
@@ -240,6 +239,24 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_doccheck(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.doccheck import check_docs
+
+    report = check_docs(
+        paths=[Path(p) for p in args.files] or None,
+        root=Path(args.root) if args.root else None,
+        budget=not args.no_budget,
+        stream=sys.stderr if args.verbose else None,
+    )
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -284,6 +301,54 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(report.render_text())
     return 0 if report.ok else 1
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.campaign import (
+        CampaignSpec,
+        build_report,
+        load_state,
+        parse_shard,
+        render_status,
+        run_campaign,
+    )
+    from repro.errors import ReproError
+    from repro.telemetry.progress import ProgressTracker
+
+    try:
+        if args.action == "status":
+            print(render_status(load_state(args.journal)))
+            return 0
+        if args.action == "report":
+            print(build_report(load_state(args.journal)))
+            return 0
+        if args.action == "run":
+            spec = CampaignSpec.load(args.spec)
+            journal = Path(args.journal)
+        else:  # resume: the journal header carries the spec
+            journal = Path(args.journal)
+            spec = load_state(journal).spec
+        tracker = ProgressTracker(stream=sys.stderr,
+                                  label=f"campaign {spec.name!r}",
+                                  every=args.progress_every)
+        state = run_campaign(
+            spec, journal,
+            jobs=args.jobs,
+            shard=parse_shard(args.shard),
+            cache=args.cache,
+            max_trials=args.max_trials,
+            progress=tracker,
+        )
+        print(render_status(state))
+        if state.pending:
+            print(f"{len(state.pending)} unit(s) still pending — continue "
+                  f"with: repro campaign resume {journal}")
+        return 1 if state.failed_count else 0
+    except ReproError as exc:
+        print(f"campaign error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -390,10 +455,77 @@ def build_parser() -> argparse.ArgumentParser:
                          help="entries to print, sorted by cumulative time")
     profile.set_defaults(func=_cmd_profile)
 
+    campaign = sub.add_parser(
+        "campaign",
+        help="declare, run, resume and report sharded experiment sweeps")
+    campaign_sub = campaign.add_subparsers(dest="action", required=True)
+
+    def _campaign_exec_args(p: argparse.ArgumentParser,
+                            journal_option: bool = True) -> None:
+        if journal_option:
+            p.add_argument("--journal", default="campaign.jsonl",
+                           help="append-only checkpoint file "
+                                "(default: campaign.jsonl)")
+        p.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: $REPRO_JOBS or 1; "
+                            "0 = all cores)")
+        p.add_argument("--shard", default="0/1",
+                       help="run shard i of n ('i/n', default 0/1); shards "
+                            "partition the grid exactly")
+        p.add_argument("--max-trials", type=int, default=None,
+                       help="budget: at most N fresh units this invocation "
+                            "(the rest stay pending for resume)")
+        p.add_argument("--cache", action="store_true",
+                       help="reuse/store trial results in the on-disk cache")
+        p.add_argument("--progress-every", type=int, default=1,
+                       help="print a progress line every N completed units")
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="start (or continue) a campaign from a JSON spec")
+    campaign_run.add_argument("spec", help="campaign spec file (JSON)")
+    _campaign_exec_args(campaign_run)
+    campaign_run.set_defaults(func=_cmd_campaign)
+
+    campaign_resume = campaign_sub.add_parser(
+        "resume", help="continue an interrupted campaign from its journal")
+    campaign_resume.add_argument("journal",
+                                 help="journal written by 'campaign run'")
+    _campaign_exec_args(campaign_resume, journal_option=False)
+    campaign_resume.set_defaults(func=_cmd_campaign)
+
+    campaign_status = campaign_sub.add_parser(
+        "status", help="summarise a campaign journal")
+    campaign_status.add_argument("journal")
+    campaign_status.set_defaults(func=_cmd_campaign)
+
+    campaign_report = campaign_sub.add_parser(
+        "report", help="render the full campaign report from a journal")
+    campaign_report.add_argument("journal")
+    campaign_report.set_defaults(func=_cmd_campaign)
+
     cache = sub.add_parser("cache",
                            help="manage the on-disk trial-result cache")
     cache.add_argument("action", choices=("info", "clear"))
     cache.set_defaults(func=_cmd_cache)
+
+    doccheck = sub.add_parser(
+        "doccheck",
+        help="smoke-run every repro command documented in the markdown "
+             "docs and fail on drift")
+    doccheck.add_argument("files", nargs="*",
+                          help="markdown files to check (default: README.md "
+                               "and EXPERIMENTS.md at the repo root)")
+    doccheck.add_argument("--root", default=None,
+                          help="documentation root for resolving example "
+                               "paths (default: auto-detected)")
+    doccheck.add_argument("--format", choices=("text", "json"),
+                          default="text")
+    doccheck.add_argument("--no-budget", action="store_true",
+                          help="run documented commands verbatim instead of "
+                               "with reduced smoke budgets")
+    doccheck.add_argument("--verbose", action="store_true",
+                          help="stream per-command progress to stderr")
+    doccheck.set_defaults(func=_cmd_doccheck)
 
     lint = sub.add_parser(
         "lint",

@@ -1,6 +1,11 @@
 """The paper's sensitivity analysis (§VII) and countermeasure ablations."""
 
-from repro.experiments.common import InjectionTrial, TrialResult, run_trials
+from repro.experiments.common import (
+    InjectionTrial,
+    TrialResult,
+    run_trial_units,
+    run_trials,
+)
 from repro.experiments.hop_interval import HOP_INTERVALS, run_experiment_hop_interval
 from repro.experiments.payload_size import PAYLOAD_SIZES, run_experiment_payload_size
 from repro.experiments.distance import DISTANCE_POSITIONS, run_experiment_distance
@@ -17,5 +22,6 @@ __all__ = [
     "run_experiment_hop_interval",
     "run_experiment_payload_size",
     "run_experiment_wall",
+    "run_trial_units",
     "run_trials",
 ]

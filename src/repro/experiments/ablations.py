@@ -24,7 +24,7 @@ from repro.experiments.common import (
     InjectionTrial,
     TrialResult,
     build_injection_payload,
-    run_trials,
+    run_trial_units,
 )
 from repro.host.stack import CentralHost
 from repro.ll.master import MasterLinkLayer
@@ -37,6 +37,28 @@ from repro.sim.topology import Topology
 WIDENING_SCALES: tuple[float, ...] = (1.0, 0.75, 0.5, 0.25, 0.1)
 
 
+def trial_units(
+    base_seed: int = 5,
+    n_connections: int = 15,
+    scales: tuple[float, ...] = WIDENING_SCALES,
+    collect_metrics: bool = False,
+) -> list[tuple[float, InjectionTrial]]:
+    """Expand ABL-1 into ``(widening scale, trial)`` units, grid-major.
+
+    Seed derivation matches the historical panel (``base_seed + k*113``
+    per scale, ``config_seed*10_000 + i`` per trial).
+    """
+    units = []
+    for index, scale in enumerate(scales):
+        config_seed = base_seed + index * 113
+        for i in range(n_connections):
+            units.append((scale, InjectionTrial(
+                seed=config_seed * 10_000 + i, hop_interval=75, pdu_len=14,
+                widening_scale=scale, collect_metrics=collect_metrics,
+            )))
+    return units
+
+
 def run_widening_ablation(
     base_seed: int = 5,
     n_connections: int = 15,
@@ -46,18 +68,25 @@ def run_widening_ablation(
     collect_metrics: bool = False,
 ) -> Mapping[float, list[TrialResult]]:
     """ABL-1: sweep the Slave's widening reduction."""
-    results = {}
-    for index, scale in enumerate(scales):
-        results[scale] = run_trials(
-            base_seed + index * 113,
-            n_connections,
-            lambda seed, s=scale: InjectionTrial(
-                seed=seed, hop_interval=75, pdu_len=14, widening_scale=s,
-                collect_metrics=collect_metrics,
-            ),
-            jobs=jobs, cache=cache,
-        )
-    return results
+    return run_trial_units(
+        trial_units(base_seed, n_connections, scales, collect_metrics),
+        jobs=jobs, cache=cache,
+    )
+
+
+def encryption_trial_units(
+    base_seed: int = 6,
+    n_connections: int = 15,
+    collect_metrics: bool = False,
+) -> list[tuple[str, InjectionTrial]]:
+    """Expand ABL-2 into ``("encrypted", trial)`` units (one config)."""
+    return [
+        ("encrypted", InjectionTrial(
+            seed=base_seed * 10_000 + i, hop_interval=75, pdu_len=14,
+            encrypted=True, collect_metrics=collect_metrics,
+        ))
+        for i in range(n_connections)
+    ]
 
 
 @dataclass
@@ -82,12 +111,8 @@ def run_encryption_ablation(base_seed: int = 6, n_connections: int = 15,
     """ABL-2: inject into encrypted connections."""
     from repro.runner import execute_trials
 
-    trials = [
-        InjectionTrial(seed=base_seed * 10_000 + i, hop_interval=75,
-                       pdu_len=14, encrypted=True,
-                       collect_metrics=collect_metrics)
-        for i in range(n_connections)
-    ]
+    trials = [trial for _, trial in encryption_trial_units(
+        base_seed, n_connections, collect_metrics)]
     return [
         EncryptionAblationResult(
             injection_succeeded=outcome.effect_observed,

@@ -90,6 +90,11 @@ class TrialResult:
         metrics: the world's merged metrics snapshot (see
             :meth:`repro.telemetry.metrics.MetricsRegistry.snapshot`) when
             the trial ran with ``collect_metrics=True``, else ``None``.
+        failure: ``None`` for a trial that ran to completion; otherwise the
+            runner's failure taxonomy (``timeout`` / ``crash`` /
+            ``error: ...``) for a trial the robust executor terminated,
+            lost, or quarantined — see
+            :func:`repro.runner.executor.run_units_robust`.
     """
 
     success: bool
@@ -98,6 +103,7 @@ class TrialResult:
     connection_survived: bool = False
     report: Optional[InjectionReport] = None
     metrics: Optional[dict] = None
+    failure: Optional[str] = None
 
 
 def build_injection_payload(pdu_len: int, control_handle: int
@@ -244,6 +250,29 @@ def run_trials(
 
     trials = [make_trial(base_seed * 10_000 + i) for i in range(n_connections)]
     return execute_trials(trials, jobs=jobs, cache=cache)
+
+
+def run_trial_units(
+    units: "list[tuple]",
+    *,
+    jobs: Optional[int] = None,
+    cache=None,
+) -> dict:
+    """Execute ``(config key, trial)`` units and group results by key.
+
+    Every sweep module exposes its grid through ``trial_units()`` (the
+    campaign engine's uniform entry point); the ``run_experiment_*``
+    one-shot panels delegate here so both paths run the exact same
+    trials in the exact same order.  Keys keep first-seen (grid) order.
+    """
+    from repro.runner import execute_trials
+
+    results = execute_trials([trial for _, trial in units],
+                             jobs=jobs, cache=cache)
+    grouped: dict = {}
+    for (key, _), result in zip(units, results):
+        grouped.setdefault(key, []).append(result)
+    return grouped
 
 
 def attempts_of(results: list[TrialResult]) -> list[int]:

@@ -16,7 +16,7 @@ from repro.experiments.common import (
     CONNECTIONS_PER_CONFIG,
     InjectionTrial,
     TrialResult,
-    run_trials,
+    run_trial_units,
 )
 
 #: Position label → attacker distance from the Peripheral (paper Fig. 8).
@@ -36,27 +36,42 @@ EXPERIMENT_HOP_INTERVAL = 36
 EXPERIMENT_PDU_LEN = 14
 
 
+def trial_units(
+    base_seed: int = 3,
+    n_connections: int = CONNECTIONS_PER_CONFIG,
+    positions: Optional[Mapping[str, float]] = None,
+    collect_metrics: bool = False,
+) -> list[tuple[str, InjectionTrial]]:
+    """Expand the sweep into ``(position label, trial)`` units, grid-major.
+
+    Seed derivation matches the historical panel (``base_seed + k*107``
+    per position, ``config_seed*10_000 + i`` per trial).
+    """
+    if positions is None:
+        positions = DISTANCE_POSITIONS
+    units = []
+    for index, (label, distance) in enumerate(positions.items()):
+        config_seed = base_seed + index * 107
+        for i in range(n_connections):
+            units.append((label, InjectionTrial(
+                seed=config_seed * 10_000 + i,
+                hop_interval=EXPERIMENT_HOP_INTERVAL,
+                pdu_len=EXPERIMENT_PDU_LEN, attacker_distance_m=distance,
+                collect_metrics=collect_metrics,
+            )))
+    return units
+
+
 def run_experiment_distance(
     base_seed: int = 3,
     n_connections: int = CONNECTIONS_PER_CONFIG,
-    positions: Mapping[str, float] = None,
+    positions: Optional[Mapping[str, float]] = None,
     jobs: Optional[int] = None,
     cache=None,
     collect_metrics: bool = False,
 ) -> Mapping[str, list[TrialResult]]:
     """Run the distance sweep; returns results per position label."""
-    if positions is None:
-        positions = DISTANCE_POSITIONS
-    results = {}
-    for index, (label, distance) in enumerate(positions.items()):
-        results[label] = run_trials(
-            base_seed + index * 107,
-            n_connections,
-            lambda seed, d=distance: InjectionTrial(
-                seed=seed, hop_interval=EXPERIMENT_HOP_INTERVAL,
-                pdu_len=EXPERIMENT_PDU_LEN, attacker_distance_m=d,
-                collect_metrics=collect_metrics,
-            ),
-            jobs=jobs, cache=cache,
-        )
-    return results
+    return run_trial_units(
+        trial_units(base_seed, n_connections, positions, collect_metrics),
+        jobs=jobs, cache=cache,
+    )

@@ -15,7 +15,7 @@ from repro.experiments.common import (
     CONNECTIONS_PER_CONFIG,
     InjectionTrial,
     TrialResult,
-    run_trials,
+    run_trial_units,
 )
 
 #: The paper's tested hop intervals (1.25 ms slots).
@@ -23,6 +23,31 @@ HOP_INTERVALS: tuple[int, ...] = (25, 50, 75, 100, 125, 150)
 
 #: PDU length of the experiment's injected frame (22 bytes over the air).
 EXPERIMENT_PDU_LEN = 14
+
+
+def trial_units(
+    base_seed: int = 1,
+    n_connections: int = CONNECTIONS_PER_CONFIG,
+    hop_intervals: tuple[int, ...] = HOP_INTERVALS,
+    collect_metrics: bool = False,
+) -> list[tuple[int, InjectionTrial]]:
+    """Expand the sweep into ``(hop interval, trial)`` units, grid-major.
+
+    Seeds follow the historical panel derivation — configuration ``k``
+    seeds at ``base_seed + k*101``, trial ``i`` at ``config_seed*10_000
+    + i`` — so campaign runs and one-shot panels share cache entries and
+    produce identical results.
+    """
+    units = []
+    for index, hop in enumerate(hop_intervals):
+        config_seed = base_seed + index * 101
+        for i in range(n_connections):
+            units.append((hop, InjectionTrial(
+                seed=config_seed * 10_000 + i, hop_interval=hop,
+                pdu_len=EXPERIMENT_PDU_LEN, attacker_distance_m=2.0,
+                collect_metrics=collect_metrics,
+            )))
+    return units
 
 
 def run_experiment_hop_interval(
@@ -34,15 +59,7 @@ def run_experiment_hop_interval(
     collect_metrics: bool = False,
 ) -> Mapping[int, list[TrialResult]]:
     """Run the hop-interval sweep; returns results per interval."""
-    results = {}
-    for index, hop in enumerate(hop_intervals):
-        results[hop] = run_trials(
-            base_seed + index * 101,
-            n_connections,
-            lambda seed, h=hop: InjectionTrial(
-                seed=seed, hop_interval=h, pdu_len=EXPERIMENT_PDU_LEN,
-                attacker_distance_m=2.0, collect_metrics=collect_metrics,
-            ),
-            jobs=jobs, cache=cache,
-        )
-    return results
+    return run_trial_units(
+        trial_units(base_seed, n_connections, hop_intervals, collect_metrics),
+        jobs=jobs, cache=cache,
+    )

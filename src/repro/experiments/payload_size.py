@@ -16,7 +16,7 @@ from repro.experiments.common import (
     CONNECTIONS_PER_CONFIG,
     InjectionTrial,
     TrialResult,
-    run_trials,
+    run_trial_units,
 )
 
 #: The paper's tested payload (PDU) sizes in bytes.
@@ -24,6 +24,29 @@ PAYLOAD_SIZES: tuple[int, ...] = (4, 9, 14, 16)
 
 #: Fixed hop interval of experiment 2.
 EXPERIMENT_HOP_INTERVAL = 75
+
+
+def trial_units(
+    base_seed: int = 2,
+    n_connections: int = CONNECTIONS_PER_CONFIG,
+    payload_sizes: tuple[int, ...] = PAYLOAD_SIZES,
+    collect_metrics: bool = False,
+) -> list[tuple[int, InjectionTrial]]:
+    """Expand the sweep into ``(PDU length, trial)`` units, grid-major.
+
+    Seed derivation matches the historical panel (``base_seed + k*103``
+    per configuration, ``config_seed*10_000 + i`` per trial).
+    """
+    units = []
+    for index, size in enumerate(payload_sizes):
+        config_seed = base_seed + index * 103
+        for i in range(n_connections):
+            units.append((size, InjectionTrial(
+                seed=config_seed * 10_000 + i,
+                hop_interval=EXPERIMENT_HOP_INTERVAL, pdu_len=size,
+                attacker_distance_m=2.0, collect_metrics=collect_metrics,
+            )))
+    return units
 
 
 def run_experiment_payload_size(
@@ -35,15 +58,7 @@ def run_experiment_payload_size(
     collect_metrics: bool = False,
 ) -> Mapping[int, list[TrialResult]]:
     """Run the payload-size sweep; returns results per PDU length."""
-    results = {}
-    for index, size in enumerate(payload_sizes):
-        results[size] = run_trials(
-            base_seed + index * 103,
-            n_connections,
-            lambda seed, s=size: InjectionTrial(
-                seed=seed, hop_interval=EXPERIMENT_HOP_INTERVAL, pdu_len=s,
-                attacker_distance_m=2.0, collect_metrics=collect_metrics,
-            ),
-            jobs=jobs, cache=cache,
-        )
-    return results
+    return run_trial_units(
+        trial_units(base_seed, n_connections, payload_sizes, collect_metrics),
+        jobs=jobs, cache=cache,
+    )

@@ -9,6 +9,7 @@ traffic.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.core.attacker import Attacker
@@ -172,11 +173,89 @@ SCENARIOS: dict[str, Callable] = {
 }
 
 
-def _run_scenario_case(case: tuple[str, str, int]) -> tuple[str, bool, int]:
-    """Picklable worker: one (scenario, device, seed) world."""
-    scenario_name, device_name, seed = case
-    ok, attempts = SCENARIOS[scenario_name](DEVICES[device_name], seed)
-    return f"{scenario_name} vs {device_name}", ok, attempts
+#: Single-letter shortcuts ("A".."D") to the display names in SCENARIOS.
+SCENARIO_LETTERS: dict[str, str] = {
+    display.split()[0]: display for display in SCENARIOS
+}
+
+
+def resolve_scenario(name: str) -> str:
+    """Resolve a display name or single-letter shortcut to a SCENARIOS key."""
+    if name in SCENARIOS:
+        return name
+    key = name.strip().upper()
+    if key in SCENARIO_LETTERS:
+        return SCENARIO_LETTERS[key]
+    raise KeyError(
+        f"unknown scenario {name!r}; expected one of "
+        f"{sorted(SCENARIO_LETTERS)} or {list(SCENARIOS)}"
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioTrial:
+    """One end-to-end scenario world, as a campaign-runnable unit.
+
+    Attributes:
+        seed: world seed.
+        scenario: display name in :data:`SCENARIOS`.
+        device: device name in :data:`DEVICES`.
+    """
+
+    seed: int
+    scenario: str
+    device: str
+
+
+def run_scenario_trial(trial: ScenarioTrial):
+    """Run one scenario world; picklable campaign runner for the suite."""
+    from repro.experiments.common import TrialResult
+
+    ok, attempts = SCENARIOS[trial.scenario](DEVICES[trial.device],
+                                             trial.seed)
+    return TrialResult(success=ok, attempts=attempts, effect_observed=ok)
+
+
+def trial_units(
+    base_seed: int = 1000,
+    n_connections: int = 1,
+    scenarios: Optional[tuple[str, ...]] = None,
+    devices: Optional[tuple[str, ...]] = None,
+) -> list[tuple[str, ScenarioTrial]]:
+    """Expand the suite into ``("<scenario> vs <device>", trial)`` units.
+
+    Seeds follow the historical serial enumeration over the *full* grid
+    (``base_seed + 13`` per case, scenario-major) so a filtered subset
+    reproduces exactly the cases it keeps; repetitions beyond the first
+    offset the case seed by ``rep * 104_729``.
+    """
+    wanted_scenarios = (None if scenarios is None
+                        else {resolve_scenario(s) for s in scenarios})
+    wanted_devices = None if devices is None else set(devices)
+    if wanted_devices is not None:
+        for name in wanted_devices:
+            if name not in DEVICES:
+                raise KeyError(f"unknown device {name!r}; expected one of "
+                               f"{list(DEVICES)}")
+    units: list[tuple[str, ScenarioTrial]] = []
+    seed = base_seed
+    for scenario_name in SCENARIOS:
+        for device_name in DEVICES:
+            seed += 13
+            if wanted_scenarios is not None and \
+                    scenario_name not in wanted_scenarios:
+                continue
+            if wanted_devices is not None and \
+                    device_name not in wanted_devices:
+                continue
+            for rep in range(n_connections):
+                units.append((
+                    f"{scenario_name} vs {device_name}",
+                    ScenarioTrial(seed=seed + rep * 104_729,
+                                  scenario=scenario_name,
+                                  device=device_name),
+                ))
+    return units
 
 
 def run_scenario_suite(
@@ -191,10 +270,8 @@ def run_scenario_suite(
     """
     from repro.runner import parallel_map
 
-    cases: list[tuple[str, str, int]] = []
-    seed = base_seed
-    for scenario_name in SCENARIOS:
-        for device_name in DEVICES:
-            seed += 13
-            cases.append((scenario_name, device_name, seed))
-    return parallel_map(_run_scenario_case, cases, jobs=jobs)
+    units = trial_units(base_seed=base_seed)
+    results = parallel_map(run_scenario_trial,
+                           [trial for _, trial in units], jobs=jobs)
+    return [(label, result.success, result.attempts)
+            for (label, _), result in zip(units, results)]

@@ -14,7 +14,7 @@ from repro.experiments.common import (
     CONNECTIONS_PER_CONFIG,
     InjectionTrial,
     TrialResult,
-    run_trials,
+    run_trial_units,
 )
 
 #: Attacker distances behind the wall (metres).
@@ -27,6 +27,32 @@ EXPERIMENT_HOP_INTERVAL = 36
 EXPERIMENT_PDU_LEN = 14
 
 
+def trial_units(
+    base_seed: int = 4,
+    n_connections: int = CONNECTIONS_PER_CONFIG,
+    distances: tuple[float, ...] = WALL_DISTANCES,
+    wall_attenuation_db: float = WALL_ATTENUATION_DB,
+    collect_metrics: bool = False,
+) -> list[tuple[float, InjectionTrial]]:
+    """Expand the sweep into ``(distance, trial)`` units, grid-major.
+
+    Seed derivation matches the historical panel (``base_seed + k*109``
+    per distance, ``config_seed*10_000 + i`` per trial).
+    """
+    units = []
+    for index, distance in enumerate(distances):
+        config_seed = base_seed + index * 109
+        for i in range(n_connections):
+            units.append((distance, InjectionTrial(
+                seed=config_seed * 10_000 + i,
+                hop_interval=EXPERIMENT_HOP_INTERVAL,
+                pdu_len=EXPERIMENT_PDU_LEN, attacker_distance_m=distance,
+                wall_attenuation_db=wall_attenuation_db,
+                collect_metrics=collect_metrics,
+            )))
+    return units
+
+
 def run_experiment_wall(
     base_seed: int = 4,
     n_connections: int = CONNECTIONS_PER_CONFIG,
@@ -37,17 +63,8 @@ def run_experiment_wall(
     collect_metrics: bool = False,
 ) -> Mapping[float, list[TrialResult]]:
     """Run the behind-a-wall sweep; returns results per distance."""
-    results = {}
-    for index, distance in enumerate(distances):
-        results[distance] = run_trials(
-            base_seed + index * 109,
-            n_connections,
-            lambda seed, d=distance: InjectionTrial(
-                seed=seed, hop_interval=EXPERIMENT_HOP_INTERVAL,
-                pdu_len=EXPERIMENT_PDU_LEN, attacker_distance_m=d,
-                wall_attenuation_db=wall_attenuation_db,
-                collect_metrics=collect_metrics,
-            ),
-            jobs=jobs, cache=cache,
-        )
-    return results
+    return run_trial_units(
+        trial_units(base_seed, n_connections, distances,
+                    wall_attenuation_db, collect_metrics),
+        jobs=jobs, cache=cache,
+    )

@@ -13,6 +13,7 @@ from repro.lintkit.checkers.determinism import (
     NondeterministicCallChecker,
     SetIterationChecker,
 )
+from repro.lintkit.checkers.docs import MissingDocstringChecker
 from repro.lintkit.checkers.perf import MissingSlotsChecker, TelemetryGuardChecker
 from repro.lintkit.checkers.process_safety import ResultCaptureChecker
 from repro.lintkit.checkers.spec import MagicNumberChecker
@@ -26,6 +27,7 @@ ALL_CHECKERS = (
     MissingSlotsChecker(),
     TelemetryGuardChecker(),
     ResultCaptureChecker(),
+    MissingDocstringChecker(),
 )
 
 
@@ -39,6 +41,7 @@ __all__ = [
     "Checker",
     "FloatTimeEqualityChecker",
     "MagicNumberChecker",
+    "MissingDocstringChecker",
     "MissingSlotsChecker",
     "NondeterministicCallChecker",
     "ResultCaptureChecker",

@@ -66,7 +66,11 @@ class NondeterministicCallChecker(Checker):
     )
     scope = ("",)
     # The RNG facade derives streams; the CLI is interactive by nature.
-    exempt = ("utils/rand.py", "cli.py")
+    # The runner/campaign orchestration layer reads wall clocks for
+    # watchdog deadlines and retry backoff only — scheduling, never trial
+    # bytes — and doccheck drives the CLI.
+    exempt = ("utils/rand.py", "cli.py", "runner/executor.py",
+              "campaign/", "doccheck.py")
 
     def check_module(self, module: ModuleSource) -> Iterator[Finding]:
         imports = import_table(module.tree)

@@ -25,22 +25,26 @@ from repro.runner.cache import (
 )
 from repro.runner.executor import (
     JOBS_ENV,
+    UnitOutcome,
     execute_trials,
     merge_trial_metrics,
     parallel_map,
     resolve_jobs,
+    run_units_robust,
 )
 
 __all__ = [
     "CACHE_DIR_ENV",
     "JOBS_ENV",
     "ResultCache",
+    "UnitOutcome",
     "code_version_token",
     "default_cache_dir",
     "execute_trials",
     "merge_trial_metrics",
     "parallel_map",
     "resolve_jobs",
+    "run_units_robust",
     "source_tree_token",
     "stable_trial_key",
 ]

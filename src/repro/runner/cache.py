@@ -44,7 +44,11 @@ CACHE_SCHEMA_VERSION = 1
 CACHE_IRRELEVANT_PREFIXES = (
     "lintkit/",       # static analysis: reads the tree, never runs trials
     "analysis/",      # rendering/statistics over finished results
+    "campaign/",      # orchestration around execute_trials; trials
+                      # themselves are defined and run by experiments/
     "cli.py",         # argument parsing around the library entry points
+    "doccheck.py",    # drives the CLI against the docs
+    "telemetry/progress.py",  # progress counters over finished units
     "__main__.py",
 )
 

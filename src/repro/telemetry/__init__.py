@@ -20,6 +20,8 @@ the system of record for that question:
 * :mod:`repro.telemetry.capture` — a medium tap collecting every on-air
   frame (with per-connection CRC validation learned from CONNECT_REQs)
   and exporting it as PCAP or JSONL.
+* :mod:`repro.telemetry.progress` — wall-clock-free campaign progress
+  counters (ok/failed/cached units) with throttled line output.
 """
 
 from repro.telemetry.metrics import (
@@ -48,6 +50,7 @@ from repro.telemetry.pcap import (
     write_pcap,
 )
 from repro.telemetry.capture import FrameRecorder
+from repro.telemetry.progress import ProgressTracker
 
 __all__ = [
     "Counter",
@@ -63,6 +66,7 @@ __all__ = [
     "PcapFormatError",
     "PcapReader",
     "PcapWriter",
+    "ProgressTracker",
     "RingSink",
     "TraceSink",
     "merge_snapshots",

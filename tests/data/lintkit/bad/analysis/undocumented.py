@@ -1,0 +1,13 @@
+"""Fixture: public API without docstrings (missing-docstring)."""
+
+
+def summarize(results):  # missing-docstring: public, no docstring
+    return len(results)
+
+
+class ReportTable:  # missing-docstring: public, no docstring
+    pass
+
+
+def _helper():  # private: exempt
+    return None

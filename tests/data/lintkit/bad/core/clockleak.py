@@ -5,5 +5,6 @@ import time
 
 
 def jitter_sample():
+    """Sample ambient jitter (deliberately nondeterministic)."""
     # nondeterministic-call: module-level random plus a wall-clock read
     return random.random() + time.time()

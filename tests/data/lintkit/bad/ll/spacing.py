@@ -2,4 +2,5 @@
 
 
 def response_deadline(frame_end_us):
+    """Deadline for the response frame."""
     return frame_end_us + 150.0  # magic-number: T_IFS re-typed

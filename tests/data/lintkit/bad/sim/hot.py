@@ -3,6 +3,8 @@ telemetry-guard positives) plus one inline waiver."""
 
 
 class HotPath:
+    """Fixture hot path with deliberate telemetry violations."""
+
     def __init__(self, sim, metrics):
         self.sim = sim
         self._m_tx = metrics.counter("fixture.tx")

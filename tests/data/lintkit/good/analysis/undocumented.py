@@ -1,0 +1,14 @@
+"""Fixture: documented twin of bad/analysis/undocumented.py."""
+
+
+def summarize(results):
+    """Count the results."""
+    return len(results)
+
+
+class ReportTable:
+    """A rendered report table."""
+
+
+def _helper():  # private: exempt with or without a docstring
+    return None

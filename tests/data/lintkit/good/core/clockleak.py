@@ -4,6 +4,7 @@ from repro.utils.rand import RngStreams
 
 
 def jitter_sample(seed):
+    """Seeded, reproducible jitter sample."""
     streams = RngStreams(seed)
     # Seeded stream draw plus simulated time: both reproducible.
     return float(streams.get("jitter").uniform(0.0, 1.0))

@@ -4,4 +4,5 @@ from repro.utils.units import T_IFS_US
 
 
 def response_deadline(frame_end_us):
+    """Deadline for the response frame (canonical constant)."""
     return frame_end_us + T_IFS_US

@@ -2,6 +2,8 @@
 
 
 class HotPath:
+    """Compliant fixture hot path."""
+
     def __init__(self, sim, metrics):
         self.sim = sim
         self._metrics = metrics

@@ -110,7 +110,9 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "Ordered by: cumulative time" in out
-        assert "run_single_trial" in out or "run_trials" in out
+        # The trial-execution chain must dominate cumulative time; the
+        # entry point is run_trial_units since the campaign refactor.
+        assert "run_trial_units" in out or "parallel_map" in out
 
     def test_crack(self, capsys):
         code = main(["crack", "--seed", "90"])

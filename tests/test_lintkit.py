@@ -45,6 +45,7 @@ EXPECTED_BAD = {
     "missing-slots": ("sim/events.py", "__slots__"),
     "telemetry-guard": ("sim/hot.py", "guard"),
     "result-capture": ("experiments/results.py", "Simulator"),
+    "missing-docstring": ("analysis/undocumented.py", "docstring"),
 }
 
 

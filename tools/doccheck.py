@@ -1,0 +1,30 @@
+#!/usr/bin/env python3
+"""Standalone entry point for the executable-docs checker.
+
+Equivalent to ``repro doccheck``; importable without installing the
+package (adds the adjacent ``src/`` to ``sys.path`` when needed), so CI
+and pre-commit hooks can call it directly::
+
+    python tools/doccheck.py [files...] [--format json]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+
+def main(argv=None) -> int:
+    try:
+        import repro  # noqa: F401 — probe for an installed package
+    except ImportError:
+        sys.path.insert(0, str(Path(__file__).resolve().parent.parent
+                               / "src"))
+    from repro.cli import main as cli_main
+
+    return cli_main(["doccheck"] + list(sys.argv[1:] if argv is None
+                                        else argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())
