@@ -29,6 +29,18 @@ DEVICE_KEYS = {"bulb": "lightbulb", "keyfob": "keyfob",
                "watch": "smartwatch"}
 
 
+def _apply_engine(args: argparse.Namespace) -> None:
+    """Propagate ``--engine`` via the environment so ``--jobs`` worker
+    processes inherit the same simulation engine as the parent."""
+    import os
+
+    from repro.sim.fastforward import ENGINE_ENV_VAR, resolve_engine
+
+    engine = getattr(args, "engine", None)
+    if engine is not None:
+        os.environ[ENGINE_ENV_VAR] = resolve_engine(engine)
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import (
         run_experiment_distance,
@@ -45,6 +57,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         "wall": (run_experiment_wall, "distance behind wall (m)"),
     }
     runner, column = runners[args.which]
+    _apply_engine(args)
     results = runner(base_seed=args.seed, n_connections=args.connections,
                      jobs=args.jobs, cache=args.cache)
     samples = {key: attempts_of(trials) for key, trials in results.items()}
@@ -62,6 +75,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
 
     runner = SCENARIOS[SCENARIO_KEYS[args.which]]
     device_cls = DEVICES[DEVICE_KEYS[args.device]]
+    _apply_engine(args)
     ok, attempts = runner(device_cls, args.seed)
     print(render_series(
         f"Scenario {args.which.upper()} vs {args.device}",
@@ -146,6 +160,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         "wall": run_experiment_wall,
     }
     runner = runners[args.which]
+    _apply_engine(args)
     # Uncached on purpose: the point is a fresh, instrumented run whose
     # aggregate is reproducible for any --jobs value.
     results = runner(base_seed=args.seed, n_connections=args.connections,
@@ -222,6 +237,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         "wall": run_experiment_wall,
     }
     runner = runners[args.which]
+    _apply_engine(args)
     profiler = cProfile.Profile()
     profiler.enable()
     # Serial and uncached on purpose: child processes would escape the
@@ -232,10 +248,17 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     stream = io.StringIO()
     stats = pstats.Stats(profiler, stream=stream)
     stats.strip_dirs().sort_stats("cumulative").print_stats(args.top)
-    print(f"repro profile {args.which} — {args.connections} connection(s) "
-          f"per configuration, seed {args.seed}, top {args.top} by "
-          f"cumulative time")
-    print(stream.getvalue())
+    header = (f"repro profile {args.which} — {args.connections} "
+              f"connection(s) per configuration, seed {args.seed}, "
+              f"top {args.top} by cumulative time")
+    report = f"{header}\n{stream.getvalue()}"
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(report)
+        print(f"wrote profile report to {args.output}")
+    else:
+        print(report)
     return 0
 
 
@@ -378,6 +401,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def _engine_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--engine", choices=("fast", "reference"),
+                       default=None,
+                       help="simulation engine: 'fast' batches quiet "
+                            "connection events analytically, 'reference' "
+                            "runs event by event (default: $REPRO_ENGINE "
+                            "or fast; results are identical)")
+
     experiment = sub.add_parser("experiment",
                                 help="run a Figure 9 sensitivity sweep")
     experiment.add_argument("which",
@@ -390,6 +421,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--cache", action="store_true",
                             help="reuse/store trial results in the on-disk "
                                  "cache")
+    _engine_arg(experiment)
     experiment.set_defaults(func=_cmd_experiment)
 
     scenario = sub.add_parser("scenario", help="run one attack scenario")
@@ -397,6 +429,7 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--device", choices=("bulb", "keyfob", "watch"),
                           default="bulb")
     scenario.add_argument("--seed", type=int, default=1000)
+    _engine_arg(scenario)
     scenario.set_defaults(func=_cmd_scenario)
 
     capture = sub.add_parser("capture",
@@ -433,6 +466,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worker processes (default: $REPRO_JOBS or 1; "
                               "0 = all cores); the aggregate is identical "
                               "for any value")
+    _engine_arg(metrics)
     metrics.set_defaults(func=_cmd_metrics)
 
     crack = sub.add_parser("crack",
@@ -453,6 +487,10 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--seed", type=int, default=1)
     profile.add_argument("--top", type=int, default=20,
                          help="entries to print, sorted by cumulative time")
+    profile.add_argument("--output", default=None,
+                         help="write the report to this file instead of "
+                              "stdout")
+    _engine_arg(profile)
     profile.set_defaults(func=_cmd_profile)
 
     campaign = sub.add_parser(

@@ -149,7 +149,11 @@ class ConnectionSniffer:
     def _schedule(self, time_us: float, handler, label: str) -> Event:
         event = self.sim.schedule_at(max(time_us, self.sim.now), handler, label)
         self._events.append(event)
-        self._events = [e for e in self._events if not e.cancelled]
+        if len(self._events) > 64:
+            # Amortised compaction: fired and cancelled handles are
+            # inert (cancel() on them is a no-op), so dropping them
+            # lazily keeps this O(1) per call instead of O(n).
+            self._events = [e for e in self._events if e.pending]
         return event
 
     def cancel(self) -> None:

@@ -166,8 +166,29 @@ def _build_topology(trial: InjectionTrial) -> Topology:
 
 def run_single_trial(trial: InjectionTrial) -> TrialResult:
     """Run one connection + injection and measure attempts-to-success."""
-    sim = Simulator(seed=trial.seed, trace_enabled=False,
-                    trace_max_records=TRACE_RING_RECORDS,
+    result, _sim = run_trial_world(trial)
+    return result
+
+
+def run_trial_world(
+    trial: InjectionTrial,
+    engine: Optional[str] = None,
+    trace_enabled: bool = False,
+) -> tuple[TrialResult, Simulator]:
+    """:func:`run_single_trial`, returning the simulator too.
+
+    Args:
+        trial: the trial configuration.
+        engine: simulation engine (``"fast"``/``"reference"``); ``None``
+            defers to :func:`repro.sim.fastforward.resolve_engine`.
+        trace_enabled: record the full event trace (differential tests
+            compare it byte for byte across engines).
+    """
+    from repro.sim.fastforward import install_engine
+
+    sim = Simulator(seed=trial.seed, trace_enabled=trace_enabled,
+                    trace_max_records=None if trace_enabled
+                    else TRACE_RING_RECORDS,
                     metrics_enabled=trial.collect_metrics)
     topo = _build_topology(trial)
     medium = Medium(sim, topo)
@@ -185,6 +206,7 @@ def run_single_trial(trial: InjectionTrial) -> TrialResult:
     central_host = CentralHost(central)
     attacker = Attacker(sim, medium, "attacker",
                         injection_config=InjectionConfig(max_attempts=100))
+    install_engine(sim, medium, central, bulb.ll, engine=engine)
     attacker.sniff_new_connections()
     bulb.power_on()
     central.connect(bulb.address)
@@ -197,7 +219,8 @@ def run_single_trial(trial: InjectionTrial) -> TrialResult:
         return sim.metrics.snapshot() if trial.collect_metrics else None
 
     if not attacker.synchronized:
-        return TrialResult(success=False, attempts=0, metrics=snapshot())
+        return TrialResult(success=False, attempts=0,
+                           metrics=snapshot()), sim
 
     handle = bulb.gatt.find_characteristic(0xFF11).value_handle
     payload, llid = build_injection_payload(trial.pdu_len, handle)
@@ -205,7 +228,8 @@ def run_single_trial(trial: InjectionTrial) -> TrialResult:
     attacker.inject(payload, llid, on_done=reports.append)
     sim.run(until_us=TRIAL_DEADLINE_US)
     if not reports:
-        return TrialResult(success=False, attempts=0, metrics=snapshot())
+        return TrialResult(success=False, attempts=0,
+                           metrics=snapshot()), sim
     report = reports[0]
     sim.run(until_us=sim.now + 2_000_000)  # let effects propagate
     if trial.pdu_len == 4:
@@ -221,7 +245,7 @@ def run_single_trial(trial: InjectionTrial) -> TrialResult:
         connection_survived=survived,
         report=report,
         metrics=snapshot(),
-    )
+    ), sim
 
 
 def run_trials(

@@ -37,7 +37,8 @@ DEVICES = {
 }
 
 
-def build_world(device_cls, seed: int, world_hook: Optional[Callable] = None):
+def build_world(device_cls, seed: int, world_hook: Optional[Callable] = None,
+                engine: Optional[str] = None, trace_enabled: bool = False):
     """Victim + phone + synchronised attacker, connection established.
 
     ``world_hook(sim, medium)``, if given, runs before any device exists —
@@ -45,8 +46,14 @@ def build_world(device_cls, seed: int, world_hook: Optional[Callable] = None):
     :class:`~repro.telemetry.capture.FrameRecorder` so they see the whole
     exchange from the first advertisement (and thus learn the CONNECT_REQ's
     CRCInit for CRC validation).
+
+    ``engine`` selects the simulation engine (see
+    :func:`repro.sim.fastforward.resolve_engine`); ``trace_enabled`` turns
+    on full trace recording for differential comparisons.
     """
-    sim = Simulator(seed=seed, trace_enabled=False)
+    from repro.sim.fastforward import install_engine
+
+    sim = Simulator(seed=seed, trace_enabled=trace_enabled)
     topo = Topology.equilateral_triangle(("victim", "phone", "attacker"))
     medium = Medium(sim, topo)
     if world_hook is not None:
@@ -55,6 +62,7 @@ def build_world(device_cls, seed: int, world_hook: Optional[Callable] = None):
     victim.ll.readvertise_on_disconnect = False
     phone = Smartphone(sim, medium, "phone", interval=36)
     attacker = Attacker(sim, medium, "attacker")
+    install_engine(sim, medium, phone.ll, victim.ll, engine=engine)
     attacker.sniff_new_connections()
     victim.power_on()
     phone.connect_to(victim.address)

@@ -165,16 +165,42 @@ def _is_timestamp_expr(node: ast.AST) -> bool:
     return terminal.endswith("_us") or terminal == "now"
 
 
+#: Largest float literal treated as an ad-hoc tolerance when added to or
+#: subtracted from a timestamp inside a comparison.  Genuine offsets
+#: (T_IFS, window margins, ...) are all >= 0.5 µs; tolerances are <= 1e-3.
+_EPSILON_LITERAL_MAX = 1e-3
+
+
+def _inline_epsilon_operand(node: ast.AST) -> bool:
+    """``ts ± tiny-float-literal``: an ad-hoc epsilon baked into a compare."""
+    if not isinstance(node, ast.BinOp) or \
+            not isinstance(node.op, (ast.Add, ast.Sub)):
+        return False
+    for ts_side, lit_side in ((node.left, node.right),
+                              (node.right, node.left)):
+        if not _is_timestamp_expr(ts_side):
+            continue
+        if isinstance(lit_side, ast.Constant) \
+                and isinstance(lit_side.value, float) \
+                and 0.0 < lit_side.value <= _EPSILON_LITERAL_MAX:
+            return True
+    return False
+
+
 class FloatTimeEqualityChecker(Checker):
-    """Ban exact equality on float microsecond timestamps."""
+    """Ban exact equality on float microsecond timestamps, and ad-hoc
+    inline epsilon literals in timestamp comparisons."""
 
     id = "float-time-eq"
     name = "no exact equality on µs timestamps"
     description = (
         "timestamps accumulate float error and clock drift; compare "
-        "with an explicit tolerance instead of ==/!="
+        "with an explicit tolerance instead of ==/!=, and spell the "
+        "tolerance TIME_EPS_US instead of an inline literal"
     )
     scope = ("",)
+    # The canonical constant itself lives in sim/events.py.
+    exempt = ("sim/events.py",)
 
     def check_module(self, module: ModuleSource) -> Iterator[Finding]:
         for node in ast.walk(module.tree):
@@ -182,20 +208,27 @@ class FloatTimeEqualityChecker(Checker):
                 continue
             operands = [node.left] + list(node.comparators)
             for op, left, right in zip(node.ops, operands, operands[1:]):
-                if not isinstance(op, (ast.Eq, ast.NotEq)):
-                    continue
-                left_ts = _is_timestamp_expr(left)
-                right_ts = _is_timestamp_expr(right)
-                float_literal = any(
-                    isinstance(side, ast.Constant)
-                    and isinstance(side.value, float)
-                    for side in (left, right)
-                )
-                if (left_ts and right_ts) or \
-                        ((left_ts or right_ts) and float_literal):
+                if isinstance(op, (ast.Eq, ast.NotEq)):
+                    left_ts = _is_timestamp_expr(left)
+                    right_ts = _is_timestamp_expr(right)
+                    float_literal = any(
+                        isinstance(side, ast.Constant)
+                        and isinstance(side.value, float)
+                        for side in (left, right)
+                    )
+                    if (left_ts and right_ts) or \
+                            ((left_ts or right_ts) and float_literal):
+                        yield self.finding(
+                            module, node,
+                            "exact ==/!= on a µs timestamp — use an explicit "
+                            "tolerance (abs(a - b) <= eps)",
+                        )
+                        break
+                elif _inline_epsilon_operand(left) or \
+                        _inline_epsilon_operand(right):
                     yield self.finding(
                         module, node,
-                        "exact ==/!= on a µs timestamp — use an explicit "
-                        "tolerance (abs(a - b) <= eps)",
+                        "inline epsilon literal in a time comparison — "
+                        "use the canonical sim.events.TIME_EPS_US",
                     )
                     break

@@ -151,7 +151,11 @@ class MasterLinkLayer(LinkLayerDevice):
     def _schedule(self, time_us: float, handler, label: str) -> Event:
         event = self.sim.schedule_at(max(time_us, self.sim.now), handler, label)
         self._pending_events.append(event)
-        self._pending_events = [e for e in self._pending_events if not e.cancelled]
+        if len(self._pending_events) > 64:
+            # Amortised compaction: fired and cancelled handles are
+            # inert (cancel() on them is a no-op), so dropping them
+            # lazily keeps this O(1) per call instead of O(n).
+            self._pending_events = [e for e in self._pending_events if e.pending]
         return event
 
     def _cancel_pending(self) -> None:

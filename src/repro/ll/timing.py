@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import LinkLayerError
+from repro.sim.events import TIME_EPS_US
 from repro.utils.units import PPM, SLOT_US
 
 #: Constant term of the widening formula (active clock jitter allowance).
@@ -50,7 +51,7 @@ class Window:
 
     def contains(self, t_us: float) -> bool:
         """Whether ``t_us`` falls inside the window (inclusive bounds)."""
-        return self.start_us - 1e-9 <= t_us <= self.end_us + 1e-9
+        return self.start_us - TIME_EPS_US <= t_us <= self.end_us + TIME_EPS_US
 
 
 def window_widening_us(

@@ -42,6 +42,7 @@ class RadioFrame:
     __slots__ = (
         "access_address", "pdu", "crc", "channel", "start_us",
         "tx_power_dbm", "phy", "sender_id", "corrupted", "frame_id",
+        "duration_us", "end_us",
     )
 
     def __init__(
@@ -73,16 +74,10 @@ class RadioFrame:
         self.sender_id = sender_id
         self.corrupted = corrupted
         self.frame_id = next(_frame_ids) if frame_id is None else frame_id
-
-    @property
-    def duration_us(self) -> float:
-        """Air time of the frame."""
-        return air_time_us(len(self.pdu), self.phy)
-
-    @property
-    def end_us(self) -> float:
-        """Simulator time at which the last bit leaves the antenna."""
-        return self.start_us + self.duration_us
+        # Air time is immutable once the frame exists; the medium reads
+        # end_us on every overlap scan, so compute both once.
+        self.duration_us = air_time_us(len(pdu), phy)
+        self.end_us = start_us + self.duration_us
 
     def overlaps(self, other: "RadioFrame") -> bool:
         """Whether this frame and ``other`` are on air simultaneously on the

@@ -23,6 +23,13 @@ from typing import Callable, Optional
 
 from repro.errors import SchedulingError
 
+#: Canonical tolerance for comparing µs timestamps.  Timestamps are float
+#: true-time; arithmetic on them (clock-rate conversion, window widening)
+#: accumulates rounding in the last few ulps, so "same instant" and
+#: "not earlier than" checks must allow this slack instead of an inline
+#: literal per call site (the ``float-time-eq`` lint checker flags those).
+TIME_EPS_US = 1e-9
+
 
 class Event:
     """A scheduled callback handle.
@@ -55,6 +62,11 @@ class Event:
         self.label = label
         self.cancelled = False
         self._queue = queue
+
+    @property
+    def pending(self) -> bool:
+        """Whether the event is still queued (not yet fired, not cancelled)."""
+        return self._queue is not None
 
     def cancel(self) -> None:
         """Mark the event so the queue drops it instead of firing it."""
@@ -108,6 +120,29 @@ class EventQueue:
             # Cancelled entries were uncounted at cancel() time.
         return None
 
+    def pop_due(self, until_us: Optional[float]) -> Optional[Event]:
+        """Pop the earliest live event due at or before ``until_us``.
+
+        Returns ``None`` when the queue is drained *or* the next event lies
+        beyond the horizon (callers distinguish the two via ``len(self)``).
+        Cancelled heap entries encountered on the way are discarded, exactly
+        as :meth:`pop`/:meth:`peek_time` do.
+        """
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            event = head[2]
+            if event.cancelled:
+                heapq.heappop(heap)
+                continue
+            if until_us is not None and head[0] > until_us:
+                return None
+            heapq.heappop(heap)
+            event._queue = None
+            self._live -= 1
+            return event
+        return None
+
     def peek_time(self) -> Optional[float]:
         """Time of the next non-cancelled event without removing it."""
         heap = self._heap
@@ -116,8 +151,14 @@ class EventQueue:
         return heap[0][0] if heap else None
 
     def clear(self) -> None:
-        """Drop every pending event."""
+        """Drop every pending event.
+
+        Every dropped event is *marked cancelled*: callers holding a handle
+        across a queue reset must see ``cancelled == True`` rather than a
+        stale-but-live-looking event that will never fire.
+        """
         for _, _, event in self._heap:
+            event.cancelled = True
             event._queue = None
         self._heap.clear()
         self._live = 0

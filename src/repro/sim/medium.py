@@ -51,6 +51,7 @@ from repro.errors import MediumError
 from repro.phy.collision import CollisionModel, Overlap
 from repro.phy.path_loss import PathLossModel
 from repro.phy.signal import RadioFrame
+from repro.sim.events import TIME_EPS_US
 from repro.sim.simulator import Simulator
 from repro.sim.topology import Topology
 
@@ -142,7 +143,7 @@ class Medium:
         """Put ``frame`` on air; called by the sender at frame start time."""
         if sender.medium_id not in self._transceivers:
             raise MediumError(f"transceiver {sender.name!r} is not registered")
-        if abs(frame.start_us - self.sim.now) > 1e-6:
+        if abs(frame.start_us - self.sim.now) > TIME_EPS_US:
             raise MediumError(
                 f"frame start {frame.start_us} != now {self.sim.now}"
             )
@@ -213,7 +214,7 @@ class Medium:
             if tx.rx_power_dbm[tid] < max(self.sensitivity_dbm, rx.sensitivity_dbm):
                 continue
             lock = self._locks.get(tid)
-            if lock is not None and lock.until_us > now + 1e-9:
+            if lock is not None and lock.until_us > now + TIME_EPS_US:
                 # Receiver busy demodulating an earlier frame: this frame is
                 # interference only (handled at resolution time).
                 if trace.enabled:
@@ -338,6 +339,6 @@ class Medium:
         the nominal window closes mid-frame).
         """
         lock = self._locks.get(transceiver.medium_id)
-        if lock is None or lock.until_us <= self.sim.now + 1e-9:
+        if lock is None or lock.until_us <= self.sim.now + TIME_EPS_US:
             return None
         return lock.until_us

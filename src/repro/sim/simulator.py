@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.errors import SchedulingError, SimulationError
-from repro.sim.events import Event, EventQueue
+from repro.sim.events import TIME_EPS_US, Event, EventQueue
 from repro.sim.trace import Trace
 from repro.utils.rand import RngStreams
 
@@ -60,6 +60,9 @@ class Simulator:
         self.metrics = MetricsRegistry(enabled=metrics_enabled)
         self._running = False
         self._stop_requested = False
+        #: Optional analytic fast-forward engine (see
+        #: :mod:`repro.sim.fastforward`); ``None`` = pure reference engine.
+        self._fast_forward = None
 
     @property
     def now(self) -> float:
@@ -70,7 +73,7 @@ class Simulator:
         self, time_us: float, handler: Callable[[], None], label: str = ""
     ) -> Event:
         """Schedule ``handler`` at absolute true time ``time_us``."""
-        if time_us < self._now - 1e-9:
+        if time_us < self._now - TIME_EPS_US:
             raise SchedulingError(
                 f"cannot schedule at {time_us:.3f}us, now is {self._now:.3f}us"
             )
@@ -99,20 +102,25 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         self._stop_requested = False
+        fast_forward = self._fast_forward
         fired = 0
         try:
             while True:
                 if self._stop_requested:
                     break
-                next_time = self._queue.peek_time()
-                if next_time is None:
+                if fast_forward is not None:
+                    # Jump over analytically computable quiet stretches;
+                    # returns the number of events it accounted for (0 when
+                    # the world is not in fast-forwardable shape).
+                    fired += fast_forward.advance(until_us,
+                                                  max_events - fired)
+                event = self._queue.pop_due(until_us)
+                if event is None:
+                    if len(self._queue):
+                        # Next event lies beyond the horizon.
+                        self._now = until_us
                     break
-                if until_us is not None and next_time > until_us:
-                    self._now = until_us
-                    break
-                event = self._queue.pop()
-                assert event is not None
-                if event.time_us < self._now - 1e-6:
+                if event.time_us < self._now - TIME_EPS_US:
                     raise SimulationError(
                         f"time went backwards: {event.time_us} < {self._now}"
                     )
@@ -124,6 +132,17 @@ class Simulator:
         finally:
             self._running = False
         return fired
+
+    def install_fast_forward(self, engine) -> None:
+        """Attach an analytic fast-forward engine (or ``None`` to detach).
+
+        The engine's ``advance(until_us, budget)`` is consulted once per
+        :meth:`run` iteration; whenever it recognises a closed-form-computable
+        quiet stretch it jumps the clock, emits the trace/metrics records the
+        event-by-event path would have produced, and returns the number of
+        events it accounted for.
+        """
+        self._fast_forward = engine
 
     def stop(self) -> None:
         """Request that :meth:`run` return after the current event."""

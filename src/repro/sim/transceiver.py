@@ -16,6 +16,7 @@ from repro.errors import MediumError
 from repro.phy.modulation import PhyMode, air_time_us
 from repro.phy.signal import RadioFrame
 from repro.sim.clock import SleepClock
+from repro.sim.events import TIME_EPS_US
 from repro.sim.medium import Medium
 from repro.sim.simulator import Simulator
 
@@ -97,12 +98,12 @@ class Transceiver:
         if self._rx_channel != channel:
             return False
         if since_us is not None and self._rx_since_us is not None:
-            return self._rx_since_us <= since_us + 1e-9
+            return self._rx_since_us <= since_us + TIME_EPS_US
         return True
 
     def is_transmitting(self, at_us: float) -> bool:
         """Whether a transmission of ours is still on air at ``at_us``."""
-        return self._tx_until_us > at_us + 1e-9
+        return self._tx_until_us > at_us + TIME_EPS_US
 
     # ------------------------------------------------------------------
     # Radio operations

@@ -1,0 +1,211 @@
+"""Differential tests: the fast engine must be indistinguishable.
+
+The analytic fast-forward engine (:mod:`repro.sim.fastforward`) promises
+*byte-identical traces* and *bit-identical results* against the reference
+event-by-event path.  These tests hold it to that across a smoke panel of
+all six experiment modules plus an adversarial world that forces the
+engine to disengage mid-run and re-engage after the disturbance.
+
+``run_both_engines`` is the reusable harness: give it a callable that
+builds and runs a world for a named engine, and it asserts the two traces
+serialize identically (after canonicalizing process-global frame ids).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    distance,
+    hop_interval,
+    payload_size,
+    wall,
+)
+from repro.experiments.common import InjectionTrial, run_trial_world
+from repro.experiments.scenarios import (
+    ScenarioTrial,
+    resolve_scenario,
+    run_scenario_trial,
+)
+from repro.sim import fastforward
+
+#: Trace detail keys whose values are process-global frame ids.
+FRAME_ID_KEYS = ("frame_id", "locked_to")
+
+
+def canonical_trace(sim) -> list:
+    """The trace as comparable tuples, frame ids remapped in first-seen
+    order (the global frame-id counter differs between runs)."""
+    remap: dict = {}
+    out = []
+    for rec in sim.trace:
+        detail = dict(rec.detail)
+        for key in FRAME_ID_KEYS:
+            if key in detail:
+                detail[key] = remap.setdefault(detail[key], len(remap))
+        out.append((repr(rec.time_us), rec.source, rec.kind,
+                    tuple((k, repr(v)) for k, v in detail.items())))
+    return out
+
+
+def run_both_engines(build_and_run):
+    """Run ``build_and_run(engine)`` for both engines; assert byte-identical
+    traces.  Returns the two simulators for further assertions.
+
+    ``build_and_run`` must construct a *fresh* world (same seed) and return
+    its :class:`~repro.sim.simulator.Simulator` with tracing enabled.
+    """
+    sim_ref = build_and_run(fastforward.ENGINE_REFERENCE)
+    sim_fast = build_and_run(fastforward.ENGINE_FAST)
+    ref, fast = canonical_trace(sim_ref), canonical_trace(sim_fast)
+    assert len(ref) == len(fast), (
+        f"trace length diverged: reference={len(ref)} fast={len(fast)}")
+    for i, (a, b) in enumerate(zip(ref, fast)):
+        assert a == b, f"trace diverged at record {i}:\n ref: {a}\nfast: {b}"
+    return sim_ref, sim_fast
+
+
+def _first_trial(units) -> InjectionTrial:
+    return units[0][1]
+
+
+def _assert_trial_differential(trial: InjectionTrial) -> None:
+    results = {}
+
+    def build_and_run(engine):
+        result, sim = run_trial_world(trial, engine=engine,
+                                      trace_enabled=True)
+        results[engine] = result
+        return sim
+
+    fastforward.reset_fast_forward_count()
+    run_both_engines(build_and_run)
+    assert results["reference"] == results["fast"]
+    assert fastforward.events_fast_forwarded() > 0, (
+        "fast engine never engaged — the differential test is vacuous")
+
+
+class TestExperimentPanels:
+    """One trial from each sweep module, reference vs fast."""
+
+    def test_hop_interval(self):
+        _assert_trial_differential(_first_trial(
+            hop_interval.trial_units(n_connections=1)))
+
+    def test_payload_size(self):
+        # Skip the pdu_len=4 (LL_TERMINATE_IND) grid point: it tears the
+        # connection down, so no quiet phase exists for the engine to
+        # fast-forward and the engagement assertion would be vacuous.
+        units = payload_size.trial_units(n_connections=1)
+        trial = next(t for _, t in units if t.pdu_len >= 9)
+        _assert_trial_differential(trial)
+
+    def test_distance(self):
+        _assert_trial_differential(_first_trial(
+            distance.trial_units(n_connections=1)))
+
+    def test_wall(self):
+        _assert_trial_differential(_first_trial(
+            wall.trial_units(n_connections=1)))
+
+    def test_ablations(self):
+        _assert_trial_differential(_first_trial(
+            ablations.trial_units(n_connections=1)))
+
+    @pytest.mark.parametrize("scenario", ["A", "B", "C", "D"])
+    def test_scenarios(self, scenario, monkeypatch):
+        trial = ScenarioTrial(seed=5, scenario=resolve_scenario(scenario),
+                              device="lightbulb")
+        monkeypatch.setenv(fastforward.ENGINE_ENV_VAR,
+                           fastforward.ENGINE_REFERENCE)
+        ref = run_scenario_trial(trial)
+        monkeypatch.setenv(fastforward.ENGINE_ENV_VAR,
+                           fastforward.ENGINE_FAST)
+        fast = run_scenario_trial(trial)
+        assert ref == fast
+
+
+class TestAdversarialDisengage:
+    """A foreign transmission mid-quiet-phase must not perturb anything."""
+
+    @staticmethod
+    def _build(engine, attacker_tx_at=None):
+        from repro.devices.lightbulb import Lightbulb
+        from repro.ll.master import MasterLinkLayer
+        from repro.ll.pdu.address import BdAddress
+        from repro.sim.fastforward import install_engine
+        from repro.sim.medium import Medium
+        from repro.sim.simulator import Simulator
+        from repro.sim.topology import Topology
+        from repro.sim.transceiver import Transceiver
+
+        sim = Simulator(seed=11, trace_enabled=True)
+        topo = Topology()
+        topo.place("peripheral", 0.0, 0.0)
+        topo.place("central", 2.0, 0.0)
+        topo.place("attacker", -2.0, 0.0)
+        medium = Medium(sim, topo)
+        bulb = Lightbulb(sim, medium, "peripheral")
+        central = MasterLinkLayer(
+            sim, medium, "central",
+            BdAddress.from_str("C0:FF:EE:00:00:02"),
+            interval=36, timeout=300)
+        attacker_radio = Transceiver(sim, medium, "attacker")
+        install_engine(sim, medium, central, bulb.ll, engine=engine)
+        bulb.power_on()
+        central.connect(bulb.address)
+        sim.run(until_us=2_000_000)
+        assert central.is_connected and bulb.ll.is_connected
+        if attacker_tx_at is not None:
+            def rogue_tx():
+                conn = central.conn
+                attacker_radio.transmit(
+                    conn.params.access_address, b"\x01\x00",
+                    0xBADBAD, conn.current_channel or 0)
+            sim.schedule_at(attacker_tx_at, rogue_tx, "attacker-rogue-tx")
+        sim.run(until_us=30_000_000)
+        return sim
+
+    def test_quiet_world_fast_forwards(self):
+        fastforward.reset_fast_forward_count()
+        ref, fast = run_both_engines(self._build)
+        assert fastforward.events_fast_forwarded() > 0
+
+    def test_mid_window_attacker_tx_bails_out_cleanly(self):
+        # The rogue frame adds a 4th live event, so the engine must stand
+        # down, let the reference path absorb the disturbance (collisions,
+        # retransmissions, missed events and all), then re-engage — with
+        # traces still byte-identical throughout.
+        fastforward.reset_fast_forward_count()
+        run_both_engines(
+            lambda engine: self._build(engine, attacker_tx_at=10_000_000.0))
+        assert fastforward.events_fast_forwarded() > 0
+        counter_after_disturbance = fastforward.events_fast_forwarded()
+        assert counter_after_disturbance > 0
+
+
+class TestEngineSelection:
+    def test_resolve_engine_explicit(self):
+        assert fastforward.resolve_engine("reference") == "reference"
+        assert fastforward.resolve_engine("fast") == "fast"
+
+    def test_resolve_engine_env(self, monkeypatch):
+        monkeypatch.setenv(fastforward.ENGINE_ENV_VAR, "reference")
+        assert fastforward.resolve_engine() == "reference"
+        monkeypatch.delenv(fastforward.ENGINE_ENV_VAR)
+        assert fastforward.resolve_engine() == "fast"
+
+    def test_resolve_engine_rejects_unknown(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            fastforward.resolve_engine("warp")
+
+    def test_install_engine_reference_is_noop(self):
+        from repro.sim.simulator import Simulator
+
+        sim = Simulator(seed=1)
+        assert fastforward.install_engine(
+            sim, None, None, None, engine="reference") is None
+        assert sim._fast_forward is None

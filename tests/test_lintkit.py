@@ -200,3 +200,55 @@ class TestCli:
         assert target.exists()
         assert main(["lint", "--root", str(BAD_TREE),
                      "--baseline", str(target)]) == 0
+
+
+class TestInlineEpsilonRule:
+    """float-time-eq's second clause: no ad-hoc epsilon literals in time
+    comparisons — the canonical ``sim.events.TIME_EPS_US`` must be used."""
+
+    CHECKER = "float-time-eq"
+
+    def _lint(self, tmp_path, source: str, rel="sim/hot.py"):
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+        return run_lint(tmp_path, checkers=[checker_index()[self.CHECKER]])
+
+    def test_inline_epsilon_literal_flagged(self, tmp_path):
+        report = self._lint(tmp_path, (
+            '"""Doc."""\n'
+            "def late(start_us, now):\n"
+            '    """Doc."""\n'
+            "    return now > start_us + 1e-9\n"
+        ))
+        assert any("TIME_EPS_US" in f.message for f in report.findings), \
+            [f.render() for f in report.findings]
+
+    def test_canonical_constant_is_silent(self, tmp_path):
+        report = self._lint(tmp_path, (
+            '"""Doc."""\n'
+            "from repro.sim.events import TIME_EPS_US\n"
+            "def late(start_us, now):\n"
+            '    """Doc."""\n'
+            "    return now > start_us + TIME_EPS_US\n"
+        ))
+        assert report.findings == [], [f.render() for f in report.findings]
+
+    def test_genuine_offsets_are_silent(self, tmp_path):
+        # Real protocol offsets (>= 0.5 us) are not tolerances.
+        report = self._lint(tmp_path, (
+            '"""Doc."""\n'
+            "def due(start_us, now):\n"
+            '    """Doc."""\n'
+            "    return now > start_us + 150.0\n"
+        ))
+        assert report.findings == [], [f.render() for f in report.findings]
+
+    def test_defining_module_is_exempt(self, tmp_path):
+        report = self._lint(tmp_path, (
+            '"""Doc."""\n'
+            "def late(start_us, now):\n"
+            '    """Doc."""\n'
+            "    return now > start_us + 1e-9\n"
+        ), rel="sim/events.py")
+        assert report.findings == [], [f.render() for f in report.findings]

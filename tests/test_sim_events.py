@@ -85,6 +85,21 @@ class TestEventQueue:
         queue.clear()
         assert len(queue) == 0
 
+    def test_clear_marks_events_cancelled(self):
+        # Handles held by callers (e.g. the slave's _window_close, or the
+        # fast-forward engine's trio snapshot) must observe the cancel:
+        # a cleared event may not read as pending, and a later cancel()
+        # through the stale handle must not corrupt the live counter.
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(3)]
+        queue.clear()
+        for event in events:
+            assert event.cancelled
+            assert not event.pending
+        queue.push(9.0, lambda: None)
+        events[0].cancel()  # stale handle: must not decrement past 0
+        assert len(queue) == 1
+
     def test_non_callable_rejected(self):
         with pytest.raises(SchedulingError):
             EventQueue().push(1.0, "not-callable")
