@@ -1,0 +1,161 @@
+"""PERF-2 — medium propagation scaling: indexed vs broadcast.
+
+Times frame delivery through the radio medium at growing world sizes with
+the per-channel/spatial indexes on (``Medium(indexed=True)``, the default)
+and off (the original broadcast path that samples every frame at every
+transceiver).  One record per (mode, size) is appended to
+``BENCH_medium.json`` at the repo root so the scaling trajectory is
+tracked across PRs.
+
+The workload is synthetic on purpose — N transmitter/receiver pairs spread
+over a grid, each pair on its own data channel, every transmitter sending
+a 14-byte frame per 2 ms — so the measurement isolates the medium hot path
+(lock assignment, power sampling, collision resolution) from link-layer
+logic.
+
+Asserted:
+  * delivery is **identical** between the two modes — same frames at the
+    same receivers with bit-identical RSSI (the per-link counter-indexed
+    shadowing substreams make draw order irrelevant);
+  * at the largest world size >= ``FLOOR_MIN_PAIRS``, the indexed medium
+    is >= ``MIN_SPEEDUP`` faster (conservative CI floor; the full
+    100-pair panel records >= 10x on dedicated hardware).
+
+Environment knobs:
+
+* ``REPRO_BENCH_MEDIUM_PAIRS`` — comma-separated world sizes in
+  connection pairs (default ``8,32,100``; CI runs a reduced ``8,32``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import pytest
+
+from repro.sim.medium import Medium
+from repro.sim.simulator import Simulator
+from repro.sim.topology import Topology
+from repro.sim.transceiver import Transceiver
+
+from benchmarks.conftest import publish
+
+#: Trajectory artefact, kept at the repo root across PRs.
+BENCH_FILE = Path(__file__).parent.parent / "BENCH_medium.json"
+
+#: World sizes (transmitter/receiver pairs) in the panel.
+PAIR_COUNTS = tuple(
+    int(n) for n in
+    os.environ.get("REPRO_BENCH_MEDIUM_PAIRS", "8,32,100").split(","))
+
+#: Simulated stretch per measurement; 2 ms per frame per transmitter.
+SIM_DURATION_US = 400_000.0
+FRAME_PERIOD_US = 2_000.0
+
+#: Data channels cycled over pairs (37 BLE data channels).
+N_DATA_CHANNELS = 37
+
+#: Conservative indexed-over-broadcast floor, enforced at the largest
+#: measured size when it is >= FLOOR_MIN_PAIRS (below that, world-size
+#: pruning has too little to cut for a robust CI assertion).
+MIN_SPEEDUP = 2.0
+FLOOR_MIN_PAIRS = 32
+
+
+def _run_world(n_pairs: int, indexed: bool) -> tuple[float, int, list]:
+    """Run one synthetic world; returns (wall s, frames sent, deliveries)."""
+    # Tracing off: the measurement isolates propagation, not trace I/O.
+    sim = Simulator(seed=42, trace_enabled=False)
+    topo = Topology()
+    for i in range(n_pairs):
+        x, y = 4.0 * (i % 10), 8.0 * (i // 10)
+        topo.place(f"tx{i:03d}", x, y)
+        topo.place(f"rx{i:03d}", x + 2.0, y)
+    medium = Medium(sim, topo, indexed=indexed)
+    deliveries: list = []
+    sent = [0]
+    def make_fire(radio, channel, aa):
+        def fire():
+            radio.transmit(aa, bytes(12), 0, channel)
+            sent[0] += 1
+            at = sim.now + FRAME_PERIOD_US
+            if at < SIM_DURATION_US:
+                sim.schedule_at(at, fire)
+
+        return fire
+
+    for i in range(n_pairs):
+        tx = Transceiver(sim, medium, f"tx{i:03d}")
+        rx = Transceiver(sim, medium, f"rx{i:03d}")
+        channel = i % N_DATA_CHANNELS
+        rx.listen(channel)
+        rx.on_frame = (lambda frame, rssi, n=i:
+                       deliveries.append((n, frame.pdu, rssi,
+                                          frame.corrupted)))
+        # Staggered starts so same-channel pairs interleave rather than
+        # colliding on every single frame.
+        sim.schedule_at(float(7 * i % 1000),
+                        make_fire(tx, channel, 0x50000000 + i))
+    start = time.perf_counter()
+    sim.run(until_us=SIM_DURATION_US)
+    return time.perf_counter() - start, sent[0], deliveries
+
+
+def _append_trajectory(*records: dict) -> None:
+    try:
+        data = json.loads(BENCH_FILE.read_text())
+        assert isinstance(data.get("runs"), list)
+    except (OSError, ValueError, AssertionError):
+        data = {"schema": 1, "benchmark": "medium-scaling", "runs": []}
+    data["runs"].extend(records)
+    BENCH_FILE.write_text(json.dumps(data, indent=2) + "\n")
+
+
+@pytest.mark.benchmark(group="perf")
+def test_medium_scaling(benchmark, results_dir):
+    utc = datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+    records = []
+    lines = ["PERF-2 — medium propagation scaling (frames/s by world size)"]
+    speedups: dict[int, float] = {}
+    for n_pairs in PAIR_COUNTS:
+        indexed_s, sent, delivered = _run_world(n_pairs, indexed=True)
+        broadcast_s, sent_b, delivered_b = _run_world(n_pairs, indexed=False)
+        # The indexed medium must be a pure optimisation: identical frames
+        # at identical receivers with bit-identical RSSI.
+        assert sent == sent_b
+        assert delivered == delivered_b
+        assert len(delivered) > 0
+        speedup = broadcast_s / indexed_s if indexed_s > 0 else float("inf")
+        speedups[n_pairs] = speedup
+        for mode, wall in (("indexed", indexed_s),
+                           ("broadcast", broadcast_s)):
+            records.append({
+                "utc": utc,
+                "mode": mode,
+                "n_pairs": n_pairs,
+                "n_transceivers": 2 * n_pairs,
+                "frames_sent": sent,
+                "frames_delivered": len(delivered),
+                "wall_s": round(wall, 4),
+                "frames_per_sec": round(sent / wall, 1) if wall > 0
+                else float("inf"),
+                "speedup_vs_broadcast": round(speedup, 2)
+                if mode == "indexed" else 1.0,
+            })
+        lines.append(
+            f"  {n_pairs:>4} pairs: indexed {sent / indexed_s:>10.0f} f/s"
+            f"  broadcast {sent / broadcast_s:>10.0f} f/s"
+            f"  speedup {speedup:>6.2f}x")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    _append_trajectory(*records)
+    publish(results_dir, "medium_scaling", "\n".join(lines))
+
+    largest = max(PAIR_COUNTS)
+    if largest >= FLOOR_MIN_PAIRS:
+        assert speedups[largest] >= MIN_SPEEDUP, (
+            f"expected the indexed medium >= {MIN_SPEEDUP}x over broadcast "
+            f"at {largest} pairs, got {speedups[largest]:.2f}x")

@@ -127,9 +127,10 @@ def expand_axis(
 
 
 def _register_builtins() -> None:
-    """Register the six experiment modules and their trial runners."""
+    """Register the built-in experiment modules and their trial runners."""
     from repro.experiments import (
         ablations,
+        dense,
         distance,
         hop_interval,
         payload_size,
@@ -159,10 +160,14 @@ def _register_builtins() -> None:
     register_experiment(ExperimentDef(
         "scenario", scenarios.trial_units,
         "§VI end-to-end attack scenarios × devices"))
+    register_experiment(ExperimentDef(
+        "occupancy", dense.trial_units,
+        "injection success vs. ambient occupancy in dense-RF worlds"))
 
     register_trial_runner(InjectionTrial, run_single_trial)
     register_trial_runner(scenarios.ScenarioTrial,
                           scenarios.run_scenario_trial)
+    register_trial_runner(dense.DenseTrial, dense.run_dense_trial)
 
 
 _register_builtins()

@@ -10,16 +10,24 @@ from repro.experiments.hop_interval import HOP_INTERVALS, run_experiment_hop_int
 from repro.experiments.payload_size import PAYLOAD_SIZES, run_experiment_payload_size
 from repro.experiments.distance import DISTANCE_POSITIONS, run_experiment_distance
 from repro.experiments.wall import WALL_DISTANCES, run_experiment_wall
+from repro.experiments.dense import (
+    OCCUPANCY_LOAD_LEVELS,
+    DenseTrial,
+    run_experiment_occupancy,
+)
 
 __all__ = [
     "DISTANCE_POSITIONS",
+    "DenseTrial",
     "HOP_INTERVALS",
     "InjectionTrial",
+    "OCCUPANCY_LOAD_LEVELS",
     "PAYLOAD_SIZES",
     "TrialResult",
     "WALL_DISTANCES",
     "run_experiment_distance",
     "run_experiment_hop_interval",
+    "run_experiment_occupancy",
     "run_experiment_payload_size",
     "run_experiment_wall",
     "run_trial_units",

@@ -95,6 +95,10 @@ class TrialResult:
             ``error: ...``) for a trial the robust executor terminated,
             lost, or quarantined — see
             :func:`repro.runner.executor.run_units_robust`.
+        occupancy: measured ambient band occupancy of the trial's world
+            (dense-world trials only, see
+            :mod:`repro.experiments.dense`); ``None`` for the 3-device
+            panels.
     """
 
     success: bool
@@ -104,6 +108,7 @@ class TrialResult:
     report: Optional[InjectionReport] = None
     metrics: Optional[dict] = None
     failure: Optional[str] = None
+    occupancy: Optional[float] = None
 
 
 def build_injection_payload(pdu_len: int, control_handle: int
@@ -288,11 +293,15 @@ def run_trial_units(
     campaign engine's uniform entry point); the ``run_experiment_*``
     one-shot panels delegate here so both paths run the exact same
     trials in the exact same order.  Keys keep first-seen (grid) order.
+    Trials dispatch through the campaign registry, so units may mix
+    trial types (e.g. :class:`InjectionTrial` and ``DenseTrial``).
     """
+    from repro.campaign.registry import run_unit_trial
     from repro.runner import execute_trials
 
     results = execute_trials([trial for _, trial in units],
-                             jobs=jobs, cache=cache)
+                             jobs=jobs, cache=cache,
+                             runner=run_unit_trial)
     grouped: dict = {}
     for (key, _), result in zip(units, results):
         grouped.setdefault(key, []).append(result)

@@ -35,6 +35,8 @@ MAGIC_NUMBERS: Tuple[Tuple[object, type, str, Tuple[str, ...]], ...] = (
      ("kernels/tables.py", "phy/crc.py")),
     (0x555555, int, "repro.phy.crc.ADVERTISING_CRC_INIT",
      ("phy/crc.py", "kernels/tables.py")),
+    (20_000.0, float, "repro.sim.medium.RECENT_HORIZON_US",
+     ("sim/medium.py",)),
 )
 
 #: Tuples/lists with at least this many numeric elements count as tables.

@@ -62,6 +62,11 @@ def frame_length_bytes(pdu_len: int, phy: PhyMode = PhyMode.LE_1M) -> int:
     return phy.preamble_len + ACCESS_ADDRESS_LEN + pdu_len + CRC_LEN
 
 
+#: (pdu_len, phy) -> air time; every per-receiver frame copy recomputes
+#: its duration, so the dense-world hot path hits this dict constantly.
+_AIR_TIME_CACHE: dict = {}
+
+
 def air_time_us(pdu_len: int, phy: PhyMode = PhyMode.LE_1M) -> float:
     """Transmission duration in µs of a frame with a ``pdu_len``-byte PDU.
 
@@ -70,5 +75,9 @@ def air_time_us(pdu_len: int, phy: PhyMode = PhyMode.LE_1M) -> float:
     frame, which preserves the ordering LE 2M < LE 1M < Coded used by any
     timing analysis.
     """
-    total = frame_length_bytes(pdu_len, phy)
-    return total * phy.us_per_byte
+    key = (pdu_len, phy)
+    cached = _AIR_TIME_CACHE.get(key)
+    if cached is None:
+        total = frame_length_bytes(pdu_len, phy)
+        cached = _AIR_TIME_CACHE[key] = total * phy.us_per_byte
+    return cached

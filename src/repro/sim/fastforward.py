@@ -45,7 +45,12 @@ from repro.phy import signal as _signal
 from repro.phy.modulation import air_time_us
 from repro.phy.signal import RadioFrame
 from repro.sim.events import TIME_EPS_US, Event
-from repro.sim.medium import Medium, _ActiveTransmission
+from repro.sim.medium import (
+    LINK_MARGIN_SIGMAS,
+    RECENT_HORIZON_US,
+    Medium,
+    _ActiveTransmission,
+)
 from repro.sim.simulator import Simulator
 from repro.utils.units import PPM, T_IFS_US
 
@@ -70,15 +75,16 @@ _LLID_CONTROL = int(LLID.CONTROL)
 #: reach (mirrors the ``max(jitter, -4.0)`` clamp in ``slave.py``).
 _RESPONSE_JITTER_FLOOR_US = -4.0
 
-#: Link-margin multiple of the shadowing sigma required for engagement.
-#: At 8 sigma the probability of a single fade dropping a frame below the
-#: sensitivity floor is ~1e-15 per cycle; the engine still hard-checks
-#: every sampled power and raises if the impossible happens.
-_LINK_MARGIN_SIGMAS = 8.0
+#: Link-margin multiple of the shadowing sigma required for engagement
+#: (shared with the medium's indexed-pruning margin).  At 8 sigma the
+#: probability of a single fade dropping a frame below the sensitivity
+#: floor is ~1e-15 per cycle; the engine still hard-checks every sampled
+#: power and raises if the impossible happens.
+_LINK_MARGIN_SIGMAS = LINK_MARGIN_SIGMAS
 
 #: Frames that ended longer ago than this no longer matter for collision
-#: resolution; mirrors the pruning horizon in ``Medium._finish``.
-_RECENT_HORIZON_US = 20_000.0
+#: resolution; the medium's recent-window pruning horizon.
+_RECENT_HORIZON_US = RECENT_HORIZON_US
 
 _events_fast_forwarded = 0
 
@@ -442,26 +448,29 @@ class QuietCycleEngine:
         sigma = path_loss.shadowing_sigma_db
         draw_shadow = sigma > 0.0
 
-        # Per-direction receiver plans in medium registration (tid) order:
-        # (tid, mean path loss, is-the-counterpart).  Geometry is frozen
-        # while engaged (nothing else runs), so means are engagement-wide.
-        m_recv = []
-        s_recv = []
-        for tid, rx in medium._transceivers.items():
-            if rx is not mr:
-                m_recv.append((tid, path_loss.mean_loss_db(
-                    topology.distance(mr.name, rx.name),
-                    topology.walls_between(mr.name, rx.name)), rx is sr))
-            if rx is not sr:
-                s_recv.append((tid, path_loss.mean_loss_db(
-                    topology.distance(sr.name, rx.name),
-                    topology.walls_between(sr.name, rx.name)), rx is mr))
+        # Only the counterpart links matter for a quiet cycle (eligibility
+        # proved nobody else is listening).  Shadowing draws come from the
+        # medium's per-link substreams indexed by the sender's transmission
+        # counter, so skipping every off-link draw is exact — a draw's
+        # value depends only on (link, index), never on what other links
+        # consumed.  Geometry is frozen while engaged (nothing else runs),
+        # so the mean losses are engagement-wide.
+        mr_tid, sr_tid = mr.medium_id, sr.medium_id
+        mean_m_to_s = path_loss.mean_loss_db(
+            topology.distance(mr.name, sr.name),
+            topology.walls_between(mr.name, sr.name))
+        mean_s_to_m = path_loss.mean_loss_db(
+            topology.distance(sr.name, mr.name),
+            topology.walls_between(sr.name, mr.name))
+        ms_shadow = medium._link_shadow(mr, sr_tid) if draw_shadow else None
+        sm_shadow = medium._link_shadow(sr, mr_tid) if draw_shadow else None
+        m_seq = medium._tx_seq.get(mr_tid, 0)
+        s_seq = medium._tx_seq.get(sr_tid, 0)
         floor_s = max(medium.sensitivity_dbm, sr.sensitivity_dbm)
         floor_m = max(medium.sensitivity_dbm, mr.sensitivity_dbm)
         m_tx_power = mr.tx_power_dbm
         s_tx_power = sr.tx_power_dbm
 
-        shadow = _StreamBuffer(medium._shadow_rng, sigma)
         s_jitter = _StreamBuffer(slave.clock._rng, slave.clock.jitter_us)
         m_jitter = _StreamBuffer(master.clock._rng, master.clock.jitter_us)
 
@@ -548,14 +557,11 @@ class QuietCycleEngine:
 
             # -- draws: the cycle is now committed -----------------------
             frame_id_m = next_frame_id()
-            m_powers = {}
-            p_slave = 0.0
-            for tid, mean_loss, is_counterpart in m_recv:
-                loss = mean_loss + shadow.next() if draw_shadow else mean_loss
-                power = m_tx_power - loss
-                m_powers[tid] = power
-                if is_counterpart:
-                    p_slave = power
+            seq_m = m_seq
+            m_seq += 1
+            loss = mean_m_to_s + ms_shadow.value(seq_m) if draw_shadow \
+                else mean_m_to_s
+            p_slave = m_tx_power - loss
             if p_slave < floor_s:
                 raise SimulationError(
                     "fast-forward: master frame faded below the slave's "
@@ -564,14 +570,11 @@ class QuietCycleEngine:
             t_response = end_m + T_IFS_US \
                 + max(response_jitter, _RESPONSE_JITTER_FLOOR_US)
             frame_id_s = next_frame_id()
-            s_powers = {}
-            p_master = 0.0
-            for tid, mean_loss, is_counterpart in s_recv:
-                loss = mean_loss + shadow.next() if draw_shadow else mean_loss
-                power = s_tx_power - loss
-                s_powers[tid] = power
-                if is_counterpart:
-                    p_master = power
+            seq_s = s_seq
+            s_seq += 1
+            loss = mean_s_to_m + sm_shadow.value(seq_s) if draw_shadow \
+                else mean_s_to_m
+            p_master = s_tx_power - loss
             if p_master < floor_m:
                 raise SimulationError(
                     "fast-forward: slave frame faded below the master's "
@@ -648,9 +651,9 @@ class QuietCycleEngine:
                 medium._m_rx.inc()
 
             retained.append((frame_id_m, t_master, end_m, channel,
-                             m_bytes, m_crc, m_powers, mr))
+                             m_bytes, m_crc, p_slave, mr, sr_tid, seq_m))
             retained.append((frame_id_s, t_response, end_r, channel,
-                             s_bytes, s_crc, s_powers, sr))
+                             s_bytes, s_crc, p_master, sr, mr_tid, seq_s))
             prune_before = end_r - _RECENT_HORIZON_US
             while retained and retained[0][2] < prune_before:
                 retained.popleft()
@@ -678,9 +681,11 @@ class QuietCycleEngine:
 
         # ------------------------------------------------------------------
         # Materialise: write the end-of-stretch state back so the reference
-        # engine resumes as if it had executed every cycle itself.
+        # engine resumes as if it had executed every cycle itself.  The
+        # per-link shadowing substreams need no unwind: their draws are
+        # indexed by transmission counter, so the reference path picks up
+        # at the written-back counters with identical values.
         # ------------------------------------------------------------------
-        shadow.unwind()
         s_jitter.unwind()
         m_jitter.unwind()
 
@@ -730,19 +735,17 @@ class QuietCycleEngine:
         mr._rx_channel = mr._rx_since_us = None
         sr._rx_channel = sr._rx_since_us = None
 
-        recent = medium._recent
-        prune_before = last_end_r - _RECENT_HORIZON_US
-        while recent and recent[0].frame.end_us < prune_before:
-            recent.popleft()
-        for frame_id, start, _end, frame_ch, pdu_bytes, crc, powers, sender \
-                in retained:
+        medium._tx_seq[mr_tid] = m_seq
+        medium._tx_seq[sr_tid] = s_seq
+        for frame_id, start, _end, frame_ch, pdu_bytes, crc, power, sender, \
+                rx_tid, seq in retained:
             frame = RadioFrame(
                 access_address=aa, pdu=pdu_bytes, crc=crc, channel=frame_ch,
                 start_us=start, tx_power_dbm=sender.tx_power_dbm, phy=phy,
                 sender_id=sender.medium_id, frame_id=frame_id)
-            transmission = _ActiveTransmission(frame, sender)
-            transmission.rx_power_dbm.update(powers)
-            recent.append(transmission)
+            transmission = _ActiveTransmission(frame, sender, seq)
+            transmission.rx_power_dbm[rx_tid] = power
+            medium._append_recent(transmission)
 
         global _events_fast_forwarded
         _events_fast_forwarded += fired

@@ -20,20 +20,48 @@ an eligible listening receiver that is not already locked becomes locked to
 the new frame until its end.  At frame end the locked frame is resolved
 against every overlapping transmission and delivered (possibly corrupted).
 
+Indexed propagation
+-------------------
+Per-frame cost scales with the receivers that can actually hear the frame,
+not with world size (the broadcast path is O(world) per frame, which melts
+at the 100+ connection dense-RF worlds the occupancy sweep runs):
+
+* **per-channel interest sets** — transceivers publish every RX retune via
+  :meth:`note_listen`, so lock assignment iterates only the listeners on
+  the frame's channel;
+* **per-channel active/recent frame indexes** — collision resolution and
+  :meth:`active_on_channel` touch only co-channel overlaps;
+* **a spatial grid over the topology** (:class:`~repro.sim.topology.
+  SpatialGrid`, cell ≈ the max propagation range at the sensitivity
+  floor), consulted once a channel's listener set is large enough to be
+  worth range-pruning before any path-loss math; rebuilt lazily whenever
+  :attr:`Topology.version` moves;
+* **lazy per-link shadowing** — shadowing draws come from counter-based
+  per-(sender, receiver) RNG substreams indexed by the sender's
+  transmission sequence number, so a draw is a pure function of
+  (link, tx_seq).  Pruning unheard receivers, or evaluating a draw late
+  (first needed as interference), cannot perturb any other link's draws —
+  the property that keeps the indexed and broadcast media trace-identical
+  and lets the fast-forward engine skip off-link draws entirely.
+
+``Medium(indexed=False)`` keeps the original broadcast behaviour (every
+frame eagerly sampled at every transceiver) as a differential baseline;
+``benchmarks/test_bench_medium.py`` measures one against the other.
+
 Hot-path notes
 --------------
 ``transmit``/``_finish`` run once per frame, i.e. millions of times per
 experiment sweep, so:
 
-* in-flight frames live in a dict keyed by ``frame_id`` (O(1) removal at
+* in-flight frames live in dicts keyed by ``frame_id`` (O(1) removal at
   frame end instead of a list scan);
-* the recently-finished window is a deque pruned incrementally from the
-  left (frames finish in time order) instead of being rebuilt by a list
-  comprehension on every frame end;
-* geometry (``topology.distance``/``walls_between``) is cached per
-  (sender, receiver) pair and invalidated via :attr:`Topology.version`
-  whenever a device moves or a wall is added — shadowing stays sampled
-  per transmission, so RNG draws and determinism are unchanged;
+* the recently-finished window is a per-channel deque pruned incrementally
+  from the left (frames finish in time order);
+* receiver locks are additionally indexed per frame id, so resolving a
+  finished frame touches only the receivers locked to it;
+* geometry (``topology.distance``/``walls_between`` and the derived mean
+  loss) is cached per (sender, receiver) pair and invalidated via
+  :attr:`Topology.version` whenever a device moves or a wall is added;
 * trace records are guarded by ``trace.enabled`` at the call site, so a
   disabled trace costs no kwargs-dict allocation;
 * metrics instruments are pre-bound at construction and guarded by
@@ -53,21 +81,49 @@ from repro.phy.path_loss import PathLossModel
 from repro.phy.signal import RadioFrame
 from repro.sim.events import TIME_EPS_US
 from repro.sim.simulator import Simulator
-from repro.sim.topology import Topology
+from repro.sim.topology import SpatialGrid, Topology
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.transceiver import Transceiver
+
+#: Frames that ended longer ago than this no longer matter for collision
+#: resolution (the longest BLE frame is ~2.1 ms on air); recent-frame
+#: deques are pruned past it.  The fast-forward engine mirrors this when
+#: rebuilding the recent window after a batched stretch.
+RECENT_HORIZON_US = 20_000.0
+
+#: Link-margin multiple of the shadowing sigma treated as "cannot happen".
+#: The indexed medium prunes a candidate receiver without drawing its
+#: shadowing when even an 8-sigma fade-up leaves the mean received power
+#: below the sensitivity floor (single-draw probability ~1e-15 — the same
+#: tolerance the fast-forward engine's engagement audit uses).
+LINK_MARGIN_SIGMAS = 8.0
+
+#: Minimum on-channel listener count before the spatial grid is consulted;
+#: below it the per-channel interest set is already small enough that a
+#: grid query costs more than the path-loss math it would prune.
+_GRID_MIN_LISTENERS = 24
+
+#: Nominal transmit power used to size grid cells (0 dBm is typical BLE).
+#: Cell size is a performance knob only — ``SpatialGrid.near`` covers the
+#: per-frame radius with however many rings it takes, so a hotter
+#: transmitter just walks one extra ring.
+_GRID_REF_TX_POWER_DBM = 0.0
 
 
 class _ActiveTransmission:
     """Bookkeeping for a frame currently on air (one per transmitted frame)."""
 
-    __slots__ = ("frame", "sender", "rx_power_dbm")
+    __slots__ = ("frame", "sender", "tx_seq", "rx_power_dbm")
 
-    def __init__(self, frame: RadioFrame, sender: "Transceiver"):
+    def __init__(self, frame: RadioFrame, sender: "Transceiver", tx_seq: int):
         self.frame = frame
         self.sender = sender
-        # Received power per receiver id, sampled once at start.
+        #: The sender's transmission counter at this frame — the per-link
+        #: shadowing draw index, so lazily-computed powers are reproducible.
+        self.tx_seq = tx_seq
+        #: Received power per receiver id, filled on demand (indexed mode)
+        #: or eagerly at start (broadcast mode).
         self.rx_power_dbm: dict[int, float] = {}
 
 
@@ -81,6 +137,55 @@ class _ReceiverLock:
         self.until_us = until_us
 
 
+class _LinkShadow:
+    """Counter-indexed shadowing draws for one (sender, receiver) link.
+
+    ``value(seq)`` is the shadowing of the sender's ``seq``-th transmission
+    as heard on this link — a pure function of (link, seq), whatever order
+    or grouping the draws are requested in.  That holds because
+    ``numpy.random.Generator.normal(0, s, n)`` consumes the bit stream
+    exactly as ``n`` scalar draws would (same values, same end state), so
+    producing draws in blocks and caching the not-yet-requested ones is
+    invisible.  Requests may arrive out of order (a frame's power can be
+    first needed as *interference* long after later frames drew theirs);
+    produced-but-unclaimed draws wait in ``_pending``.
+    """
+
+    __slots__ = ("_rng", "_sigma", "_produced", "_pending")
+
+    #: Draws generated per RNG call; amortises numpy call overhead.
+    _BLOCK = 32
+
+    #: Pending entries allowed before pruning.  A request can only reach
+    #: back as far as the recent-frame horizon (~450 frames per link at
+    #: the minimum frame length), so entries 4096 indexes behind the
+    #: production watermark are unreachable.
+    _PENDING_MAX = 4096
+
+    def __init__(self, rng, sigma: float):
+        self._rng = rng
+        self._sigma = sigma
+        self._produced = 0
+        self._pending: dict[int, float] = {}
+
+    def value(self, seq: int) -> float:
+        """The link's shadowing draw for transmission index ``seq``, in dB."""
+        pending = self._pending
+        if seq < self._produced:
+            return pending.pop(seq)
+        need = seq + 1 - self._produced
+        block = self._rng.normal(0.0, self._sigma, max(need, self._BLOCK))
+        base = self._produced
+        for offset, draw in enumerate(block):
+            pending[base + offset] = float(draw)
+        self._produced = base + len(block)
+        if len(pending) > self._PENDING_MAX:
+            cutoff = self._produced - self._PENDING_MAX
+            for key in [k for k in pending if k < cutoff]:
+                del pending[key]
+        return pending.pop(seq)
+
+
 class Medium:
     """Radio propagation between registered transceivers.
 
@@ -91,6 +196,11 @@ class Medium:
         collision: capture-effect model.
         sensitivity_dbm: default receiver sensitivity; frames arriving below
             it neither lock nor deliver.
+        indexed: use the per-channel/spatial indexes and lazy per-link
+            shadowing (the default); ``False`` restores the broadcast
+            medium that eagerly samples every frame at every transceiver —
+            same traces, O(world) per frame — kept as the differential and
+            benchmark baseline.
     """
 
     def __init__(
@@ -100,24 +210,40 @@ class Medium:
         path_loss: Optional[PathLossModel] = None,
         collision: Optional[CollisionModel] = None,
         sensitivity_dbm: float = -90.0,
+        indexed: bool = True,
     ):
         self.sim = sim
         self.topology = topology if topology is not None else Topology()
         self.path_loss = path_loss if path_loss is not None else PathLossModel()
         self.collision = collision if collision is not None else CollisionModel()
         self.sensitivity_dbm = sensitivity_dbm
+        self.indexed = indexed
         self._transceivers: dict[int, "Transceiver"] = {}
         self._next_id = 0
         self._active: dict[int, _ActiveTransmission] = {}
-        self._recent: deque[_ActiveTransmission] = deque()
+        # Per-channel views of the in-flight and recently-finished frames;
+        # iteration order within a channel matches the global insertion /
+        # finish order, so collision resolution consumes the collision RNG
+        # exactly as a whole-world scan filtered by channel would.
+        self._active_by_channel: dict[int, dict[int, _ActiveTransmission]] = {}
+        self._recent_by_channel: dict[int, deque] = {}
+        # channel -> {medium id -> transceiver} currently in RX there,
+        # maintained by Transceiver via note_listen.
+        self._listeners: dict[int, dict[int, "Transceiver"]] = {}
         self._locks: dict[int, _ReceiverLock] = {}
-        self._shadow_rng = sim.streams.get("medium-shadowing")
+        # frame_id -> medium ids locked to it, so _finish resolves in
+        # O(locks on this frame) instead of scanning the whole lock table.
+        self._frame_locks: dict[int, list[int]] = {}
+        # sender id -> transmissions so far (the per-link draw index).
+        self._tx_seq: dict[int, int] = {}
+        self._link_shadows: dict[tuple[int, int], _LinkShadow] = {}
         self._collision_rng = sim.streams.get("medium-collision")
         self._taps: list = []
-        # (sender_id, receiver_id) -> (distance_m, walls crossed); rebuilt
-        # lazily whenever the topology version moves.
-        self._path_cache: dict[tuple[int, int], tuple[float, tuple]] = {}
+        # (sender_id, receiver_id) -> (distance_m, walls crossed, mean
+        # loss dB); rebuilt lazily whenever the topology version moves.
+        self._path_cache: dict[tuple[int, int], tuple[float, tuple, float]] = {}
         self._path_cache_version = -1
+        self._grid: Optional[SpatialGrid] = None
         metrics = sim.metrics
         self._metrics = metrics
         self._m_tx = metrics.counter("medium.tx")
@@ -135,21 +261,117 @@ class Medium:
         self._transceivers[tid] = transceiver
         return tid
 
+    def note_listen(self, transceiver: "Transceiver",
+                    old: Optional[int], new: Optional[int]) -> None:
+        """RX retune hook: keep the per-channel interest sets current.
+
+        Called by :class:`~repro.sim.transceiver.Transceiver` whenever its
+        RX channel changes (``old``/``new`` of ``None`` mean not listening).
+        """
+        tid = transceiver.medium_id
+        if old is not None:
+            listeners = self._listeners.get(old)
+            if listeners is not None:
+                listeners.pop(tid, None)
+        if new is not None:
+            listeners = self._listeners.get(new)
+            if listeners is None:
+                listeners = self._listeners[new] = {}
+            listeners[tid] = transceiver
+
+    # ------------------------------------------------------------------
+    # Propagation geometry (cached) and per-link shadowing
+    # ------------------------------------------------------------------
+
+    def _path_to(self, sender: "Transceiver", tid: int
+                 ) -> tuple[float, tuple, float]:
+        """(distance, walls, mean loss) from ``sender`` to transceiver ``tid``."""
+        topology = self.topology
+        if topology.version != self._path_cache_version:
+            self._path_cache.clear()
+            self._grid = None
+            self._path_cache_version = topology.version
+        key = (sender.medium_id, tid)
+        path = self._path_cache.get(key)
+        if path is None:
+            rx = self._transceivers[tid]
+            distance = topology.distance(sender.name, rx.name)
+            walls = topology.walls_between(sender.name, rx.name)
+            path = (distance, walls,
+                    self.path_loss.mean_loss_db(distance, walls))
+            self._path_cache[key] = path
+        return path
+
+    def _link_shadow(self, sender: "Transceiver", tid: int) -> _LinkShadow:
+        """The shadowing substream of the ``sender`` → ``tid`` link."""
+        key = (sender.medium_id, tid)
+        shadow = self._link_shadows.get(key)
+        if shadow is None:
+            rx = self._transceivers[tid]
+            rng = self.sim.streams.get(f"shadow-{sender.name}->{rx.name}")
+            shadow = _LinkShadow(rng, self.path_loss.shadowing_sigma_db)
+            self._link_shadows[key] = shadow
+        return shadow
+
+    def _power_at(self, tx: _ActiveTransmission, tid: int) -> float:
+        """Received power of ``tx`` at transceiver ``tid`` (memoised)."""
+        power = tx.rx_power_dbm.get(tid)
+        if power is None:
+            _distance, _walls, mean_loss = self._path_to(tx.sender, tid)
+            loss = mean_loss
+            if self.path_loss.shadowing_sigma_db > 0.0:
+                loss += self._link_shadow(tx.sender, tid).value(tx.tx_seq)
+            power = tx.frame.tx_power_dbm - loss
+            tx.rx_power_dbm[tid] = power
+        return power
+
+    def _grid_candidates(self, tx: _ActiveTransmission,
+                         n_listeners: int) -> Optional[set]:
+        """Names possibly in range of ``tx``, or ``None`` (no pruning).
+
+        Only consulted for crowded channels; the returned set is a superset
+        of the in-range devices (grid rings + the link-margin radius), so
+        membership filtering drops provably-deaf receivers only.
+        """
+        if n_listeners < _GRID_MIN_LISTENERS:
+            return None
+        topology = self.topology
+        grid = self._grid
+        if grid is None or grid.version != topology.version:
+            sigma = self.path_loss.shadowing_sigma_db
+            cell_budget = (_GRID_REF_TX_POWER_DBM - self.sensitivity_dbm
+                           + LINK_MARGIN_SIGMAS * sigma)
+            grid = self._grid = SpatialGrid(
+                topology, self.path_loss.max_range_m(cell_budget))
+        sigma = self.path_loss.shadowing_sigma_db
+        budget = (tx.frame.tx_power_dbm - self.sensitivity_dbm
+                  + LINK_MARGIN_SIGMAS * sigma)
+        radius = self.path_loss.max_range_m(budget)
+        return grid.near(topology.position_of(tx.sender.name), radius)
+
     # ------------------------------------------------------------------
     # Transmission path
     # ------------------------------------------------------------------
 
     def transmit(self, frame: RadioFrame, sender: "Transceiver") -> None:
         """Put ``frame`` on air; called by the sender at frame start time."""
-        if sender.medium_id not in self._transceivers:
+        sender_id = sender.medium_id
+        if sender_id not in self._transceivers:
             raise MediumError(f"transceiver {sender.name!r} is not registered")
         if abs(frame.start_us - self.sim.now) > TIME_EPS_US:
             raise MediumError(
                 f"frame start {frame.start_us} != now {self.sim.now}"
             )
-        tx = _ActiveTransmission(frame=frame, sender=sender)
-        self._sample_rx_powers(tx)
+        seq = self._tx_seq.get(sender_id, 0)
+        self._tx_seq[sender_id] = seq + 1
+        tx = _ActiveTransmission(frame=frame, sender=sender, tx_seq=seq)
+        if not self.indexed:
+            self._sample_rx_powers(tx)
         self._active[frame.frame_id] = tx
+        actives = self._active_by_channel.get(frame.channel)
+        if actives is None:
+            actives = self._active_by_channel[frame.channel] = {}
+        actives[frame.frame_id] = tx
         self._assign_locks(tx)
         trace = self.sim.trace
         if trace.enabled:
@@ -171,47 +393,54 @@ class Medium:
             tap(frame)
 
     def _sample_rx_powers(self, tx: _ActiveTransmission) -> None:
-        """Sample the received power of ``tx`` at every other transceiver."""
-        topology = self.topology
-        if topology.version != self._path_cache_version:
-            self._path_cache.clear()
-            self._path_cache_version = topology.version
-        sender = tx.sender
-        sender_id = sender.medium_id
-        cache = self._path_cache
-        path_loss = self.path_loss
-        tx_power = tx.frame.tx_power_dbm
-        shadow_rng = self._shadow_rng
-        powers = tx.rx_power_dbm
-        for tid, rx in self._transceivers.items():
-            if tid == sender_id:
-                continue
-            key = (sender_id, tid)
-            path = cache.get(key)
-            if path is None:
-                path = (
-                    topology.distance(sender.name, rx.name),
-                    topology.walls_between(sender.name, rx.name),
-                )
-                cache[key] = path
-            powers[tid] = path_loss.received_power_dbm(
-                tx_power, path[0], shadow_rng, path[1]
-            )
+        """Eagerly sample ``tx``'s power at every other transceiver.
+
+        The broadcast (non-indexed) baseline: O(world) per frame.  Draws
+        come from the same per-link substreams the lazy path uses, so the
+        values are identical either way.
+        """
+        sender_id = tx.sender.medium_id
+        for tid in self._transceivers:
+            if tid != sender_id:
+                self._power_at(tx, tid)
 
     def _assign_locks(self, tx: _ActiveTransmission) -> None:
         """Lock every eligible idle listening receiver onto ``tx``."""
         now = self.sim.now
         trace = self.sim.trace
-        for tid, rx in self._transceivers.items():
-            if tid == tx.sender.medium_id:
+        frame = tx.frame
+        sender_id = tx.sender.medium_id
+        margin = 0.0
+        near: Optional[set] = None
+        if self.indexed:
+            listeners = self._listeners.get(frame.channel)
+            if not listeners:
+                return
+            # Ascending medium-id order matches the broadcast scan's
+            # registration order, so rx-busy/rx-lock traces and lock-table
+            # insertion order are identical between the two modes.
+            candidates = [(tid, listeners[tid]) for tid in sorted(listeners)]
+            margin = LINK_MARGIN_SIGMAS * self.path_loss.shadowing_sigma_db
+            near = self._grid_candidates(tx, len(candidates))
+        else:
+            candidates = list(self._transceivers.items())
+        for tid, rx in candidates:
+            if tid == sender_id:
                 continue
-            if not rx.is_listening_on(tx.frame.channel, since_us=now):
+            if not rx.is_listening_on(frame.channel, since_us=now):
                 continue
-            if rx.rx_phy is not tx.frame.phy:
+            if rx.rx_phy is not frame.phy:
                 continue  # wrong symbol rate: no preamble correlation
             if rx.is_transmitting(at_us=now):
                 continue  # half duplex
-            if tx.rx_power_dbm[tid] < max(self.sensitivity_dbm, rx.sensitivity_dbm):
+            floor = max(self.sensitivity_dbm, rx.sensitivity_dbm)
+            if self.indexed:
+                if near is not None and rx.name not in near:
+                    continue
+                mean_loss = self._path_to(tx.sender, tid)[2]
+                if frame.tx_power_dbm - mean_loss + margin < floor:
+                    continue  # deaf even under an 8-sigma fade-up: no draw
+            if self._power_at(tx, tid) < floor:
                 continue
             lock = self._locks.get(tid)
             if lock is not None and lock.until_us > now + TIME_EPS_US:
@@ -220,47 +449,78 @@ class Medium:
                 if trace.enabled:
                     trace.record(
                         now, rx.name, "rx-busy",
-                        frame_id=tx.frame.frame_id, locked_to=lock.frame_id,
+                        frame_id=frame.frame_id, locked_to=lock.frame_id,
                     )
                 if self._metrics.enabled:
                     self._m_rx_busy.inc()
                 continue
-            self._locks[tid] = _ReceiverLock(tx.frame.frame_id, tx.frame.end_us)
+            self._locks[tid] = _ReceiverLock(frame.frame_id, frame.end_us)
+            locked = self._frame_locks.get(frame.frame_id)
+            if locked is None:
+                locked = self._frame_locks[frame.frame_id] = []
+            locked.append(tid)
             if trace.enabled:
                 trace.record(
                     now, rx.name, "rx-lock",
-                    frame_id=tx.frame.frame_id, channel=tx.frame.channel,
+                    frame_id=frame.frame_id, channel=frame.channel,
                     rssi_dbm=tx.rx_power_dbm[tid],
                 )
 
-    def _finish(self, tx: _ActiveTransmission) -> None:
-        """Frame finished: resolve collisions and deliver to locked receivers."""
-        self._active.pop(tx.frame.frame_id, None)
-        recent = self._recent
+    def _append_recent(self, tx: _ActiveTransmission) -> None:
+        """File a finished transmission in its channel's recent window.
+
+        Frames finish in time order, so each deque is sorted by end time
+        and pruning from the left is exact.  Idle channels keep their last
+        few frames until the next finish there — unobservable, since a
+        frame past the horizon can no longer overlap anything.
+        """
+        channel = tx.frame.channel
+        recent = self._recent_by_channel.get(channel)
+        if recent is None:
+            recent = self._recent_by_channel[channel] = deque()
         recent.append(tx)
-        # Bound the memory of past transmissions: only frames overlapping a
-        # still-active one matter.  _finish fires in time order, so recent
-        # is sorted by end time and pruning from the left is exact.
-        horizon = self.sim.now - 20_000.0
+        horizon = self.sim.now - RECENT_HORIZON_US
         while recent and recent[0].frame.end_us < horizon:
             recent.popleft()
-        tx.sender.on_tx_done(tx.frame)
 
+    def _finish(self, tx: _ActiveTransmission) -> None:
+        """Frame finished: resolve collisions and deliver to locked receivers."""
+        frame = tx.frame
+        fid = frame.frame_id
+        self._active.pop(fid, None)
+        actives = self._active_by_channel.get(frame.channel)
+        if actives is not None:
+            actives.pop(fid, None)
+        self._append_recent(tx)
+        tx.sender.on_tx_done(frame)
+
+        locked = self._frame_locks.pop(fid, None)
+        if not locked:
+            return
+        if len(locked) > 1:
+            # Multi-receiver frames deliver in lock-*table* order, which an
+            # overwritten-then-relocked receiver keeps from its first entry
+            # (dict update preserves position).  Re-derive it so delivery —
+            # and hence collision-RNG consumption — matches the pre-index
+            # whole-table scan exactly.  O(currently locked receivers).
+            locked = [tid for tid, lock in self._locks.items()
+                      if lock.frame_id == fid]
         trace = self.sim.trace
-        for tid, lock in list(self._locks.items()):
-            if lock.frame_id != tx.frame.frame_id:
-                continue
+        for tid in locked:
+            lock = self._locks.get(tid)
+            if lock is None or lock.frame_id != fid:
+                continue  # lock was overwritten at this exact instant
             del self._locks[tid]
             rx = self._transceivers[tid]
-            if not rx.is_listening_on(tx.frame.channel, since_us=None):
+            if not rx.is_listening_on(frame.channel, since_us=None):
                 # Receiver gave up (window closed) before the frame ended.
                 if trace.enabled:
                     trace.record(
                         self.sim.now, rx.name, "rx-abandoned",
-                        frame_id=tx.frame.frame_id,
+                        frame_id=fid,
                     )
                 continue
-            copy = tx.frame.copy_for_receiver()
+            copy = frame.copy_for_receiver()
             outcome = self._resolve_interference(tx, tid)
             if outcome is not None and not outcome.survived:
                 copy.corrupted = True
@@ -280,33 +540,39 @@ class Medium:
         """Resolve ``tx`` against all frames overlapping it at ``receiver_id``."""
         overlaps: list[Overlap] = []
         wanted_power = tx.rx_power_dbm[receiver_id]
-        for other in chain(self._active.values(), self._recent):
-            if other.frame.frame_id == tx.frame.frame_id:
+        frame = tx.frame
+        start_us, end_us = frame.start_us, frame.end_us
+        actives = self._active_by_channel.get(frame.channel)
+        recents = self._recent_by_channel.get(frame.channel)
+        for other in chain(actives.values() if actives else (),
+                           recents if recents is not None else ()):
+            other_frame = other.frame
+            # Inline RadioFrame.overlaps minus its channel test — the
+            # per-channel indexes only ever hand us co-channel frames, and
+            # the recent window holds many frames too old to overlap.
+            if other_frame.end_us <= start_us or end_us <= other_frame.start_us:
+                continue
+            if other_frame.frame_id == frame.frame_id:
                 continue
             if other.sender.medium_id == receiver_id:
                 continue  # a receiver is deaf to its own TX, not corrupted by it
-            if not other.frame.overlaps(tx.frame):
-                continue
-            interferer_power = other.rx_power_dbm.get(receiver_id)
-            if interferer_power is None:
-                continue
             overlaps.append(
                 Overlap(
-                    start_us=max(tx.frame.start_us, other.frame.start_us),
-                    end_us=min(tx.frame.end_us, other.frame.end_us),
-                    sir_db=wanted_power - interferer_power,
+                    start_us=max(frame.start_us, other.frame.start_us),
+                    end_us=min(frame.end_us, other.frame.end_us),
+                    sir_db=wanted_power - self._power_at(other, receiver_id),
                 )
             )
         if not overlaps:
             return None
-        outcome = self.collision.resolve(tx.frame, overlaps, self._collision_rng)
+        outcome = self.collision.resolve(frame, overlaps, self._collision_rng)
         if self._metrics.enabled:
             self._m_collisions.inc()
         trace = self.sim.trace
         if trace.enabled:
             trace.record(
                 self.sim.now, self._transceivers[receiver_id].name, "collision",
-                frame_id=tx.frame.frame_id,
+                frame_id=frame.frame_id,
                 overlapped_bits=outcome.overlapped_bits,
                 corrupted_bits=outcome.corrupted_bits,
                 survived=outcome.survived,
@@ -319,8 +585,10 @@ class Medium:
 
     def active_on_channel(self, channel: int) -> list[RadioFrame]:
         """Frames currently on air on ``channel`` (for IDS-style monitors)."""
-        return [t.frame for t in self._active.values()
-                if t.frame.channel == channel]
+        actives = self._active_by_channel.get(channel)
+        if not actives:
+            return []
+        return [t.frame for t in actives.values()]
 
     def add_tap(self, tap) -> None:
         """Register a wideband monitor callback, called at every frame start.

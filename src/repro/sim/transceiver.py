@@ -113,11 +113,15 @@ class Transceiver:
         """Enter RX on ``channel`` (replacing any previous RX window)."""
         if not 0 <= channel < 40:
             raise MediumError(f"invalid channel {channel}")
+        if self._rx_channel != channel:
+            self.medium.note_listen(self, self._rx_channel, channel)
         self._rx_channel = channel
         self._rx_since_us = self.sim.now
 
     def stop_listening(self) -> None:
         """Leave RX."""
+        if self._rx_channel is not None:
+            self.medium.note_listen(self, self._rx_channel, None)
         self._rx_channel = None
         self._rx_since_us = None
 

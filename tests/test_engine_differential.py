@@ -185,6 +185,84 @@ class TestAdversarialDisengage:
         assert counter_after_disturbance > 0
 
 
+class TestIndexedVsBroadcast:
+    """The indexed medium must be a pure optimisation: same traces, same
+    results as the O(world) broadcast medium, under both engines."""
+
+    @staticmethod
+    def _build(engine, indexed):
+        from repro.core.attacker import Attacker
+        from repro.core.injection import InjectionConfig
+        from repro.devices.lightbulb import Lightbulb
+        from repro.ll.master import MasterLinkLayer
+        from repro.ll.pdu.address import BdAddress
+        from repro.sim.fastforward import install_engine
+        from repro.sim.interference import WifiInterferer
+        from repro.sim.medium import Medium
+        from repro.sim.simulator import Simulator
+        from repro.sim.topology import Topology
+
+        sim = Simulator(seed=23, trace_enabled=True)
+        topo = Topology()
+        topo.place("peripheral", 0.0, 0.0)
+        topo.place("central", 2.0, 0.0)
+        topo.place("attacker", -2.0, 0.0)
+        topo.place("wifi", 1.0, 3.0)
+        medium = Medium(sim, topo, indexed=indexed)
+        bulb = Lightbulb(sim, medium, "peripheral")
+        central = MasterLinkLayer(
+            sim, medium, "central",
+            BdAddress.from_str("C0:FF:EE:00:00:02"),
+            interval=36, timeout=300)
+        attacker = Attacker(sim, medium, "attacker",
+                            injection_config=InjectionConfig(max_attempts=100))
+        # Co-located Wi-Fi bursts give collision resolution real work, so
+        # the equivalence covers the interference path too.
+        WifiInterferer(sim, medium, "wifi", duty_cycle=0.10).start()
+        install_engine(sim, medium, central, bulb.ll, engine=engine)
+        attacker.sniff_new_connections()
+        bulb.power_on()
+        central.connect(bulb.address)
+        sim.run(until_us=2_000_000)
+        if attacker.synchronized:
+            handle = bulb.gatt.find_characteristic(0xFF11).value_handle
+            from repro.experiments.common import build_injection_payload
+
+            payload, llid = build_injection_payload(14, handle)
+            attacker.inject(payload, llid)
+        sim.run(until_us=10_000_000)
+        return sim
+
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    def test_traces_byte_identical(self, engine):
+        indexed = canonical_trace(self._build(engine, indexed=True))
+        broadcast = canonical_trace(self._build(engine, indexed=False))
+        assert len(indexed) == len(broadcast), (
+            f"trace length diverged: indexed={len(indexed)} "
+            f"broadcast={len(broadcast)}")
+        for i, (a, b) in enumerate(zip(indexed, broadcast)):
+            assert a == b, (
+                f"trace diverged at record {i}:\n  indexed: {a}\nbroadcast: {b}")
+
+    def test_trial_results_bit_identical(self, monkeypatch):
+        # The stock experiment world, forced through each medium mode.
+        from repro.sim.medium import Medium
+
+        trial = InjectionTrial(seed=21)
+        original_init = Medium.__init__
+        outcomes = {}
+        for mode in (True, False):
+            def patched(self, sim, topology=None, *args, _mode=mode, **kwargs):
+                kwargs.setdefault("indexed", _mode)
+                original_init(self, sim, topology, *args, **kwargs)
+
+            monkeypatch.setattr(Medium, "__init__", patched)
+            result, sim = run_trial_world(trial, engine="reference",
+                                          trace_enabled=True)
+            outcomes[mode] = (result, canonical_trace(sim))
+        assert outcomes[True] == outcomes[False]
+
+
 class TestEngineSelection:
     def test_resolve_engine_explicit(self):
         assert fastforward.resolve_engine("reference") == "reference"

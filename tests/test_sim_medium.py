@@ -1,10 +1,11 @@
 """Integration tests for the radio medium: delivery, locking, collisions."""
 
+import numpy as np
 import pytest
 
 from repro.phy.collision import CollisionModel
 from repro.phy.path_loss import PathLossModel
-from repro.sim.medium import Medium
+from repro.sim.medium import Medium, _LinkShadow
 from repro.sim.simulator import Simulator
 from repro.sim.topology import Topology
 from repro.sim.transceiver import Transceiver
@@ -204,6 +205,117 @@ class TestPathCache:
         sim.run()
         assert len(rssi_seen) == 2
         assert rssi_seen[1] == pytest.approx(rssi_seen[0] - 30.0)
+
+
+class TestInterestSets:
+    """The indexed medium tracks listeners per channel via note_listen."""
+
+    def test_retune_away_and_back_still_delivered(self):
+        sim, medium, radios = build_world()
+        got = []
+        radios["rx"].on_frame = lambda f, rssi: got.append(f)
+        radios["rx"].listen(7)
+        radios["rx"].listen(12)
+        radios["rx"].listen(7)
+        sim.schedule_at(10.0, lambda: radios["tx"].transmit(1 << 20, b"a", 0, 7))
+        sim.run()
+        assert [f.pdu for f in got] == [b"a"]
+
+    def test_stop_listening_removes_interest(self):
+        sim, medium, radios = build_world()
+        got = []
+        radios["rx"].on_frame = lambda f, rssi: got.append(f)
+        radios["rx"].listen(7)
+        radios["rx"].stop_listening()
+        sim.schedule_at(10.0, lambda: radios["tx"].transmit(1 << 20, b"a", 0, 7))
+        sim.run()
+        assert got == []
+
+    def test_broadcast_mode_still_delivers(self):
+        sim, medium, radios = build_world(indexed=False)
+        got = []
+        radios["rx"].on_frame = lambda f, rssi: got.append(f)
+        radios["rx"].listen(7)
+        sim.schedule_at(10.0, lambda: radios["tx"].transmit(1 << 20, b"a", 0, 7))
+        sim.run()
+        assert [f.pdu for f in got] == [b"a"]
+
+
+def _crowded_world(**medium_kwargs):
+    """30+ co-channel listeners, enough to engage the spatial grid."""
+    positions = {"tx": (0.0, 0.0), "far": (4000.0, 0.0)}
+    for i in range(30):
+        positions[f"n{i:02d}"] = (1.0 + 0.05 * i, 0.5)
+    return build_world(positions=positions,
+                       path_loss=PathLossModel(shadowing_sigma_db=0.0),
+                       **medium_kwargs)
+
+
+class TestGridIndex:
+    """Grid pruning must track topology changes mid-trial."""
+
+    def test_out_of_range_pruned_in_crowded_world(self):
+        sim, medium, radios = _crowded_world()
+        got = []
+        radios["far"].on_frame = lambda f, rssi: got.append(f)
+        for name, radio in radios.items():
+            if name != "tx":
+                radio.listen(7)
+        sim.schedule_at(10.0, lambda: radios["tx"].transmit(1 << 20, b"a", 0, 7))
+        sim.run()
+        assert got == []
+
+    def test_moved_device_not_stuck_in_stale_cell(self):
+        # Regression: the grid snapshot must be rebuilt when the topology
+        # version moves, or a device that walked into range would stay
+        # filed in its old (out-of-range) cell and never receive again.
+        sim, medium, radios = _crowded_world()
+        got = []
+        radios["far"].on_frame = lambda f, rssi: got.append(f)
+        for name, radio in radios.items():
+            if name != "tx":
+                radio.listen(7)
+        sim.schedule_at(10.0, lambda: radios["tx"].transmit(1 << 20, b"a", 0, 7))
+        sim.schedule_at(500.0, lambda: medium.topology.place("far", 2.0, 1.0))
+        sim.schedule_at(600.0, lambda: radios["tx"].transmit(1 << 20, b"b", 0, 7))
+        sim.run()
+        assert [f.pdu for f in got] == [b"b"]
+
+    def test_crowded_delivery_matches_broadcast(self):
+        def run(indexed):
+            sim, medium, radios = _crowded_world(indexed=indexed)
+            got = []
+            for name, radio in radios.items():
+                if name != "tx":
+                    radio.listen(7)
+                    radio.on_frame = \
+                        lambda f, rssi, n=name: got.append((n, f.pdu, rssi))
+            sim.schedule_at(10.0,
+                            lambda: radios["tx"].transmit(1 << 20, b"a", 0, 7))
+            sim.run()
+            return got
+
+        assert run(indexed=True) == run(indexed=False)
+
+
+class TestLinkShadow:
+    """Per-link counter-indexed shadowing draws are pure in (link, seq)."""
+
+    def test_out_of_order_requests_match_in_order(self):
+        in_order = _LinkShadow(np.random.default_rng(42), sigma=2.0)
+        expected = {seq: in_order.value(seq) for seq in range(70)}
+        shuffled = _LinkShadow(np.random.default_rng(42), sigma=2.0)
+        order = [seq for pair in zip(range(69, 34, -1), range(35))
+                 for seq in pair]
+        for seq in order:
+            assert shuffled.value(seq) == expected[seq]
+
+    def test_sparse_requests_skip_unclaimed_draws(self):
+        dense = _LinkShadow(np.random.default_rng(7), sigma=1.5)
+        expected = {seq: dense.value(seq) for seq in range(200)}
+        sparse = _LinkShadow(np.random.default_rng(7), sigma=1.5)
+        for seq in (0, 63, 64, 199, 100):
+            assert sparse.value(seq) == expected[seq]
 
 
 class TestTap:
