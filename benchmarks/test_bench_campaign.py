@@ -1,0 +1,167 @@
+"""PERF-3 — campaign service throughput: serial engine vs worker fleets.
+
+Runs one fixed campaign grid through the serial ``run_campaign`` engine
+and through ``serve_campaign`` at growing managed-fleet sizes, and
+appends a units/s record per mode to ``BENCH_campaign.json`` at the
+repo root so the service-scaling trajectory is tracked across PRs.
+
+The workload is synthetic on purpose — every unit sleeps a fixed
+``UNIT_COST_S`` inside the worker's killable child — so the measurement
+isolates the orchestration overhead (lease round-trips, journal
+appends, per-unit process spawn) from simulation cost, and the ideal
+scaling curve is known exactly (N workers → N× units/s).
+
+Asserted:
+  * every mode completes the full grid with the report byte-identical
+    to the serial baseline (the service must never trade correctness
+    for throughput);
+  * with >= ``FLOOR_MIN_CORES`` CPU cores, the largest fleet is >=
+    ``MIN_SPEEDUP``x faster than the serial engine (conservative CI
+    floor; the workload is sleep-bound, so cores mostly gate how many
+    worker+child processes can make progress simultaneously).
+
+Environment knobs:
+
+* ``REPRO_BENCH_CAMPAIGN_UNITS`` — grid size (default 40);
+* ``REPRO_BENCH_CAMPAIGN_WORKERS`` — comma-separated fleet sizes
+  (default ``1,2,4``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    ExperimentDef,
+    build_report,
+    load_state,
+    register_experiment,
+    register_trial_runner,
+    run_campaign,
+)
+from repro.campaign.service import serve_campaign
+from repro.experiments.common import TrialResult
+
+from benchmarks.conftest import publish
+
+#: Trajectory artefact, kept at the repo root across PRs.
+BENCH_FILE = Path(__file__).parent.parent / "BENCH_campaign.json"
+
+#: Units in the benchmark grid.
+N_UNITS = int(os.environ.get("REPRO_BENCH_CAMPAIGN_UNITS", "40"))
+
+#: Managed-fleet sizes measured against the serial engine.
+WORKER_COUNTS = tuple(
+    int(n) for n in
+    os.environ.get("REPRO_BENCH_CAMPAIGN_WORKERS", "1,2,4").split(","))
+
+#: Simulated per-unit cost (sleep inside the trial child).
+UNIT_COST_S = 0.05
+
+#: Service-over-serial floor at the largest fleet, enforced only when
+#: the machine has enough cores to actually run the fleet in parallel.
+MIN_SPEEDUP = 2.0
+FLOOR_MIN_CORES = 4
+
+
+@dataclasses.dataclass(frozen=True)
+class _BenchTrial:
+    seed: int
+
+
+def _run_bench_trial(trial):
+    time.sleep(UNIT_COST_S)
+    return TrialResult(success=True, attempts=trial.seed % 3 + 1,
+                      effect_observed=True, connection_survived=True)
+
+
+def _bench_units(base_seed=0, n_connections=2):
+    return [("sleep", _BenchTrial(seed=base_seed + i))
+            for i in range(n_connections)]
+
+
+register_experiment(ExperimentDef(
+    "bench-sleep", _bench_units, "fixed-cost benchmark fixture"),
+    replace=True)
+register_trial_runner(_BenchTrial, _run_bench_trial, replace=True)
+
+
+def _bench_spec() -> CampaignSpec:
+    return CampaignSpec.from_dict({
+        "name": "bench-campaign", "seed": 0, "timeout_s": 60,
+        "axes": [{"experiment": "bench-sleep", "n_connections": N_UNITS}],
+    })
+
+
+def _append_trajectory(*records: dict) -> None:
+    try:
+        data = json.loads(BENCH_FILE.read_text())
+        assert isinstance(data.get("runs"), list)
+    except (OSError, ValueError, AssertionError):
+        data = {"schema": 1, "benchmark": "campaign-service", "runs": []}
+    data["runs"].extend(records)
+    BENCH_FILE.write_text(json.dumps(data, indent=2) + "\n")
+
+
+@pytest.mark.benchmark(group="perf")
+def test_campaign_service_scaling(benchmark, results_dir, tmp_path):
+    utc = datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+    spec = _bench_spec()
+
+    start = time.perf_counter()
+    serial_state = run_campaign(spec, tmp_path / "serial.jsonl", jobs=1)
+    serial_s = time.perf_counter() - start
+    assert serial_state.done == N_UNITS
+    serial_report = build_report(load_state(tmp_path / "serial.jsonl"))
+    serial_rate = N_UNITS / serial_s
+
+    records = [{
+        "utc": utc, "mode": "serial", "workers": 0, "units": N_UNITS,
+        "unit_cost_s": UNIT_COST_S, "wall_s": round(serial_s, 4),
+        "units_per_sec": round(serial_rate, 2), "speedup_vs_serial": 1.0,
+    }]
+    lines = [f"PERF-3 — campaign service throughput "
+             f"({N_UNITS} units x {UNIT_COST_S:.2f}s)",
+             f"  serial engine: {serial_rate:>7.2f} units/s "
+             f"({serial_s:.2f}s)"]
+    speedups: dict = {}
+    for workers in WORKER_COUNTS:
+        journal = tmp_path / f"served-{workers}.jsonl"
+        start = time.perf_counter()
+        state = serve_campaign(spec, journal, workers=workers)
+        wall = time.perf_counter() - start
+        assert state.done == N_UNITS and not state.pending
+        # correctness first: identical report at every fleet size
+        assert build_report(load_state(journal)) == serial_report
+        rate = N_UNITS / wall
+        speedups[workers] = rate / serial_rate
+        records.append({
+            "utc": utc, "mode": "service", "workers": workers,
+            "units": N_UNITS, "unit_cost_s": UNIT_COST_S,
+            "wall_s": round(wall, 4), "units_per_sec": round(rate, 2),
+            "speedup_vs_serial": round(speedups[workers], 2),
+        })
+        lines.append(f"  {workers} worker(s): {rate:>7.2f} units/s "
+                     f"({wall:.2f}s, {speedups[workers]:.2f}x serial)")
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    _append_trajectory(*records)
+    publish(results_dir, "campaign_service_scaling", "\n".join(lines))
+
+    cores = os.cpu_count() or 1
+    largest = max(WORKER_COUNTS)
+    if cores >= FLOOR_MIN_CORES and largest >= 4:
+        assert speedups[largest] >= MIN_SPEEDUP, (
+            f"expected the {largest}-worker fleet >= {MIN_SPEEDUP}x over "
+            f"the serial engine, got {speedups[largest]:.2f}x")
+    else:
+        lines.append(f"  (floor skipped: {cores} core(s) < "
+                     f"{FLOOR_MIN_CORES})")

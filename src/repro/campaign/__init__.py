@@ -15,7 +15,9 @@ Layering: ``experiments/*.trial_units()`` grids → :mod:`.registry`
 (name → provider, trial type → runner) → :mod:`.spec` (declarative
 JSON) → :mod:`.engine` (expand/shard/execute/checkpoint) →
 :mod:`.journal` (crash-tolerant JSONL) → :mod:`.report` (pure-function
-rendering over journal records).
+rendering over journal records).  :mod:`.service` layers a
+coordinator/worker split with a work-stealing lease queue and an HTTP
+API on top, streaming results into the very same journal.
 """
 
 from repro.campaign.engine import (
@@ -23,11 +25,19 @@ from repro.campaign.engine import (
     TrialUnit,
     expand_units,
     load_state,
+    open_journal,
     parse_shard,
     run_campaign,
     shard_units,
+    unit_record,
+    units_by_id,
 )
-from repro.campaign.journal import JOURNAL_VERSION, UnitRecord, read_journal
+from repro.campaign.journal import (
+    JOURNAL_VERSION,
+    UnitRecord,
+    read_journal,
+    record_from_payload,
+)
 from repro.campaign.registry import (
     EXPERIMENTS,
     ExperimentDef,
@@ -36,7 +46,12 @@ from repro.campaign.registry import (
     register_trial_runner,
     run_unit_trial,
 )
-from repro.campaign.report import build_report, render_status
+from repro.campaign.report import (
+    build_report,
+    render_status,
+    report_dict,
+    status_dict,
+)
 from repro.campaign.spec import SPEC_VERSION, AxisSpec, CampaignSpec
 
 __all__ = [
@@ -53,12 +68,18 @@ __all__ = [
     "expand_units",
     "get_experiment",
     "load_state",
+    "open_journal",
     "parse_shard",
     "read_journal",
+    "record_from_payload",
     "register_experiment",
     "register_trial_runner",
     "render_status",
+    "report_dict",
     "run_campaign",
     "run_unit_trial",
     "shard_units",
+    "status_dict",
+    "unit_record",
+    "units_by_id",
 ]

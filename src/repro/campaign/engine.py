@@ -161,9 +161,47 @@ def load_state(journal_path: Union[str, Path]) -> CampaignState:
                          runs=runs)
 
 
-def _unit_record(unit: TrialUnit, result: Any, outcome: Any,
-                 cached: bool) -> UnitRecord:
-    """Fold one ``execute_trials`` callback into a journal record."""
+def units_by_id(units: List[TrialUnit]) -> Dict[str, TrialUnit]:
+    """Index a unit list by its stable ids (they are unique by
+    construction)."""
+    return {unit.unit_id: unit for unit in units}
+
+
+def open_journal(spec: CampaignSpec, path: Union[str, Path],
+                 fsync: bool = False) -> Tuple[
+                     JournalWriter, Dict[str, UnitRecord], int]:
+    """Attach to (or create) the journal for ``spec``.
+
+    Returns the single append-only writer plus the records and run count
+    replayed from an existing file.  Refuses a journal written under a
+    different spec — the fingerprint check that keeps resume honest.
+    """
+    path = Path(path)
+    if path.exists():
+        _, fingerprint, records, runs = read_journal(path)
+        if fingerprint != spec.fingerprint:
+            raise ConfigurationError(
+                f"journal {path} belongs to a different campaign "
+                f"(fingerprint {fingerprint[:12]}… != "
+                f"{spec.fingerprint[:12]}…); use a fresh --journal or the "
+                f"matching spec")
+        return JournalWriter(path, fsync=fsync), records, runs
+    return (JournalWriter.create(path, spec.to_dict(), spec.fingerprint,
+                                 fsync=fsync),
+            {}, 0)
+
+
+def unit_record(unit: TrialUnit, result: Any, outcome: Any,
+                cached: bool) -> UnitRecord:
+    """Fold one completed unit into its journal record.
+
+    ``outcome`` is the :class:`~repro.runner.executor.UnitOutcome` from
+    the robust executor (``None`` for cache hits); ``result`` the trial
+    result (placeholder or ``None`` when the outcome failed).  Both the
+    in-process engine and the service workers build records through this
+    one function, so a unit's journal line is byte-identical however it
+    was executed.
+    """
     if outcome is not None and not outcome.ok:
         return UnitRecord(
             unit_id=unit.unit_id,
@@ -197,6 +235,7 @@ def run_campaign(
     cache: Any = None,
     max_trials: Optional[int] = None,
     progress: Any = None,
+    fsync: bool = False,
 ) -> CampaignState:
     """Run (or continue) a campaign shard, journaling every unit.
 
@@ -213,25 +252,14 @@ def run_campaign(
         progress: optional
             :class:`~repro.telemetry.progress.ProgressTracker`; fed one
             update per completed unit.
+        fsync: force every journal record to stable storage (see
+            :class:`~repro.campaign.journal.JournalWriter`).
 
     Returns:
         The campaign state after this invocation (full-grid view).
     """
     units = expand_units(spec)
-    path = Path(journal_path)
-    if path.exists():
-        _, fingerprint, records, runs = read_journal(path)
-        if fingerprint != spec.fingerprint:
-            raise ConfigurationError(
-                f"journal {path} belongs to a different campaign "
-                f"(fingerprint {fingerprint[:12]}… != "
-                f"{spec.fingerprint[:12]}…); use a fresh --journal or the "
-                f"matching spec")
-        writer = JournalWriter(path)
-    else:
-        records, runs = {}, 0
-        writer = JournalWriter.create(path, spec.to_dict(), spec.fingerprint)
-
+    writer, records, runs = open_journal(spec, journal_path, fsync=fsync)
     state = CampaignState(spec=spec, fingerprint=spec.fingerprint,
                           units=units, records=records, runs=runs + 1)
     sharded = shard_units(units, *shard)
@@ -249,7 +277,7 @@ def run_campaign(
         def on_result(index: int, trial: Any, result: Any, outcome: Any,
                       cached: bool) -> None:
             unit = to_run[index]
-            record = _unit_record(unit, result, outcome, cached)
+            record = unit_record(unit, result, outcome, cached)
             records[unit.unit_id] = record
             writer.record_unit(record)
             if progress is not None:

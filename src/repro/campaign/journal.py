@@ -18,6 +18,7 @@ campaign yields the same state as an uninterrupted run.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
@@ -62,22 +63,30 @@ class UnitRecord:
 
 
 class JournalWriter:
-    """Append-only writer; one flushed JSON line per record."""
+    """Append-only writer; one flushed JSON line per record.
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    ``fsync=True`` additionally forces every record through to stable
+    storage (``os.fsync``) before ``_write`` returns — slower, but a
+    machine crash (not just a process crash) then loses at most the one
+    in-flight record, which the torn-tail recovery below already
+    handles.
+    """
+
+    def __init__(self, path: Union[str, Path], fsync: bool = False) -> None:
         self.path = Path(path)
+        self.fsync = fsync
         _truncate_torn_tail(self.path)
         self._fh = self.path.open("a")
 
     @classmethod
     def create(cls, path: Union[str, Path], spec_dict: Dict[str, Any],
-               fingerprint: str) -> "JournalWriter":
+               fingerprint: str, fsync: bool = False) -> "JournalWriter":
         """Start a fresh journal with its ``campaign`` header line."""
         path = Path(path)
         if path.exists():
             raise ConfigurationError(f"journal {path} already exists")
         path.parent.mkdir(parents=True, exist_ok=True)
-        writer = cls(path)
+        writer = cls(path, fsync=fsync)
         writer._write({
             "type": "campaign",
             "version": JOURNAL_VERSION,
@@ -90,6 +99,8 @@ class JournalWriter:
     def _write(self, record: Dict[str, Any]) -> None:
         self._fh.write(json.dumps(record, sort_keys=True) + "\n")
         self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
 
     def record_run(self, shard: Tuple[int, int], jobs: Optional[int],
                    budget: Optional[int], pending: int) -> None:
@@ -136,6 +147,29 @@ def _truncate_torn_tail(path: Path) -> None:
         fh.truncate(cut)
 
 
+def record_from_payload(obj: Dict[str, Any]) -> UnitRecord:
+    """Rebuild a :class:`UnitRecord` from its plain-dict (JSON) form.
+
+    Shared by the journal reader and the campaign service, whose workers
+    ship records over the wire as the same payload they would journal —
+    one parsing path keeps a streamed-and-merged journal byte-identical
+    to a locally written one.
+    """
+    unit_id = obj.get("unit_id")
+    if not isinstance(unit_id, str) or not unit_id:
+        raise ConfigurationError(f"unit record without a unit_id: {obj!r}")
+    return UnitRecord(
+        unit_id=unit_id,
+        experiment=obj.get("experiment", ""),
+        config_key=obj.get("config_key", ""),
+        status=obj.get("status", "failed"),
+        result=obj.get("result"),
+        failure=obj.get("failure"),
+        metrics=obj.get("metrics"),
+        cached=bool(obj.get("cached", False)),
+    )
+
+
 def read_journal(path: Union[str, Path]) -> Tuple[
         Dict[str, Any], str, Dict[str, UnitRecord], int]:
     """Replay a journal into ``(spec dict, fingerprint, records, runs)``.
@@ -179,16 +213,7 @@ def read_journal(path: Union[str, Path]) -> Tuple[
             unit_id = obj.get("unit_id")
             if not isinstance(unit_id, str) or unit_id in records:
                 continue
-            records[unit_id] = UnitRecord(
-                unit_id=unit_id,
-                experiment=obj.get("experiment", ""),
-                config_key=obj.get("config_key", ""),
-                status=obj.get("status", "failed"),
-                result=obj.get("result"),
-                failure=obj.get("failure"),
-                metrics=obj.get("metrics"),
-                cached=bool(obj.get("cached", False)),
-            )
+            records[unit_id] = record_from_payload(obj)
     if header is None:
         raise ConfigurationError(
             f"journal {path} has no campaign header line")

@@ -352,12 +352,146 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _print_json(payload) -> None:
+    """Print a machine-readable payload (one canonical JSON document)."""
+    import json
+
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    """``campaign status``: local journal or remote service, text/json."""
+    from repro.campaign import load_state, render_status, status_dict
+
+    if getattr(args, "url", None):
+        from repro.campaign.service import fetch_status, follow_status
+
+        if getattr(args, "follow", False):
+            return _follow_remote(follow_status(args.url),
+                                  as_json=args.format == "json")
+        payload = fetch_status(args.url)
+        if args.format == "json":
+            _print_json(payload)
+            return 0
+        print(_render_remote_status(payload))
+        return 0
+    if not args.journal:
+        print("campaign error: provide a journal path or --url",
+              file=sys.stderr)
+        return 2
+    state = load_state(args.journal)
+    if args.format == "json":
+        _print_json(status_dict(state))
+    else:
+        print(render_status(state))
+    return 0
+
+
+def _render_remote_status(payload: dict) -> str:
+    """Text rendering of the service's ``GET /status`` payload."""
+    campaign = payload.get("campaign")
+    service = payload.get("service", {})
+    if not campaign:
+        return "campaign service: no campaign loaded"
+    rows = [
+        ("fingerprint", str(campaign["fingerprint"])[:16]),
+        ("axes", ", ".join(campaign["axes"])),
+        ("units", str(campaign["total"])),
+        ("completed", f"{campaign['done']}/{campaign['total']}"),
+        ("ok", str(campaign["ok"])),
+        ("failed", str(campaign["failed"])),
+        ("pending", str(campaign["pending"])),
+        ("in flight", str(service.get("inflight", 0))),
+        ("workers seen", str(service.get("workers_seen", 0))),
+    ]
+    return render_series(f"Campaign {campaign['name']!r} (served)", rows)
+
+
+def _follow_remote(events, as_json: bool) -> int:
+    """Consume a ``/status?follow`` event stream until ``done``."""
+    from repro.telemetry.progress import ProgressTracker
+
+    tracker = ProgressTracker(stream=None if as_json else sys.stderr)
+    failed = 0
+    for event in events:
+        if as_json:
+            import json
+
+            print(json.dumps(event, sort_keys=True), flush=True)
+        kind = event.get("event")
+        campaign = event.get("campaign") or {}
+        if kind == "status" and campaign:
+            tracker.label = f"campaign {campaign['name']!r}"
+            tracker.reset(int(campaign["total"]))
+            tracker.preload(done=int(campaign["done"]),
+                            ok=int(campaign["ok"]),
+                            failed=int(campaign["failed"]))
+        elif kind == "unit":
+            tracker.update(event.get("status", "failed"),
+                           cached=bool(event.get("cached")))
+        elif kind == "done" and campaign:
+            failed = int(campaign["failed"])
+            if not as_json:
+                print(_render_remote_status(event))
+    return 1 if failed else 0
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    """``campaign report``: local journal or remote service, text/json."""
+    from repro.campaign import build_report, load_state, report_dict
+
+    if getattr(args, "url", None):
+        from repro.campaign.service import fetch_report
+
+        if args.format == "json":
+            _print_json(fetch_report(args.url, as_json=True))
+        else:
+            print(fetch_report(args.url), end="")
+        return 0
+    if not args.journal:
+        print("campaign error: provide a journal path or --url",
+              file=sys.stderr)
+        return 2
+    state = load_state(args.journal)
+    if args.format == "json":
+        _print_json(report_dict(state))
+    else:
+        print(build_report(state))
+    return 0
+
+
+def _cmd_campaign_worker(args: argparse.Namespace) -> int:
+    """``campaign worker``: work a coordinator until its campaign drains."""
+    from repro.campaign.service import parse_endpoint, run_worker
+
+    host, port = parse_endpoint(args.connect)
+    return run_worker(host, port, worker_id=args.id,
+                      oneshot=not args.forever,
+                      reconnect_s=args.reconnect_s)
+
+
+def _cmd_campaign_submit(args: argparse.Namespace) -> int:
+    """``campaign submit``: POST a spec to a running service."""
+    from repro.campaign import CampaignSpec
+    from repro.campaign.service import submit_campaign
+
+    spec = CampaignSpec.load(args.spec)
+    accepted = submit_campaign(args.url, spec.to_dict(),
+                               journal=args.journal)
+    print(render_series(f"Campaign {accepted['name']!r} submitted", [
+        ("fingerprint", str(accepted["fingerprint"])[:16]),
+        ("journal", str(accepted["journal"])),
+        ("units", str(accepted["total"])),
+        ("pending", str(accepted["pending"])),
+    ]))
+    return 0
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.campaign import (
         CampaignSpec,
-        build_report,
         load_state,
         parse_shard,
         render_status,
@@ -368,11 +502,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     try:
         if args.action == "status":
-            print(render_status(load_state(args.journal)))
-            return 0
+            return _cmd_campaign_status(args)
         if args.action == "report":
-            print(build_report(load_state(args.journal)))
-            return 0
+            return _cmd_campaign_report(args)
+        if args.action == "worker":
+            return _cmd_campaign_worker(args)
+        if args.action == "submit":
+            return _cmd_campaign_submit(args)
         if args.action == "run":
             spec = CampaignSpec.load(args.spec)
             journal = Path(args.journal)
@@ -389,12 +525,72 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             cache=args.cache,
             max_trials=args.max_trials,
             progress=tracker,
+            fsync=args.fsync,
         )
         print(render_status(state))
         if state.pending:
             print(f"{len(state.pending)} unit(s) still pending — continue "
                   f"with: repro campaign resume {journal}")
         return 1 if state.failed_count else 0
+    except ReproError as exc:
+        print(f"campaign error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: coordinator + HTTP API + managed local workers."""
+    from pathlib import Path
+
+    from repro.campaign import CampaignSpec, load_state, render_status
+    from repro.campaign.service import serve_campaign
+    from repro.errors import ReproError
+    from repro.telemetry.progress import ProgressTracker
+
+    journal = Path(args.journal)
+    try:
+        spec = CampaignSpec.load(args.spec) if args.spec else None
+        if spec is None and not journal.exists():
+            print("campaign error: no spec given and no journal to resume "
+                  f"at {journal}", file=sys.stderr)
+            return 2
+        tracker = ProgressTracker(stream=sys.stderr, label="served",
+                                  every=args.progress_every)
+
+        def on_event(event: dict) -> None:
+            kind = event.get("event")
+            campaign = event.get("campaign") or {}
+            if kind == "status" and campaign:
+                tracker.label = f"campaign {campaign['name']!r} (served)"
+                tracker.reset(int(campaign["total"]))
+                tracker.preload(done=int(campaign["done"]),
+                                ok=int(campaign["ok"]),
+                                failed=int(campaign["failed"]))
+            elif kind == "unit":
+                tracker.update(event.get("status", "failed"),
+                               cached=bool(event.get("cached")))
+
+        def on_listening(port: int) -> None:
+            print(f"campaign service listening on "
+                  f"http://{args.host}:{port}", file=sys.stderr,
+                  flush=True)
+
+        state = serve_campaign(
+            spec, journal,
+            workers=args.workers,
+            host=args.host,
+            port=args.port,
+            lease_timeout_s=args.lease_timeout,
+            steal_after_s=args.steal_after,
+            fsync=args.fsync,
+            keep_alive=args.keep_alive,
+            on_event=on_event,
+            on_listening=on_listening,
+        )
+        print(render_status(state))
+        return 1 if state.failed_count else 0
+    except KeyboardInterrupt:
+        print("campaign service interrupted", file=sys.stderr)
+        return 130
     except ReproError as exc:
         print(f"campaign error: {exc}", file=sys.stderr)
         return 2
@@ -544,6 +740,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(the rest stay pending for resume)")
         p.add_argument("--cache", action="store_true",
                        help="reuse/store trial results in the on-disk cache")
+        p.add_argument("--fsync", action="store_true",
+                       help="fsync the journal after every record (survives "
+                            "power loss, not just process death)")
         p.add_argument("--progress-every", type=int, default=1,
                        help="print a progress line every N completed units")
 
@@ -561,14 +760,92 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_resume.set_defaults(func=_cmd_campaign)
 
     campaign_status = campaign_sub.add_parser(
-        "status", help="summarise a campaign journal")
-    campaign_status.add_argument("journal")
+        "status", help="summarise a campaign journal or a running service")
+    campaign_status.add_argument("journal", nargs="?", default=None,
+                                 help="journal file (omit with --url)")
+    campaign_status.add_argument("--url", default=None,
+                                 help="query a running campaign service "
+                                      "(http://HOST:PORT) instead of a "
+                                      "journal file")
+    campaign_status.add_argument("--follow", action="store_true",
+                                 help="with --url: stream per-unit events "
+                                      "until the campaign drains")
+    campaign_status.add_argument("--format", choices=("text", "json"),
+                                 default="text")
     campaign_status.set_defaults(func=_cmd_campaign)
 
     campaign_report = campaign_sub.add_parser(
-        "report", help="render the full campaign report from a journal")
-    campaign_report.add_argument("journal")
+        "report", help="render the full campaign report from a journal "
+                       "or a running service")
+    campaign_report.add_argument("journal", nargs="?", default=None,
+                                 help="journal file (omit with --url)")
+    campaign_report.add_argument("--url", default=None,
+                                 help="fetch the report from a running "
+                                      "campaign service (http://HOST:PORT)")
+    campaign_report.add_argument("--format", choices=("text", "json"),
+                                 default="text")
     campaign_report.set_defaults(func=_cmd_campaign)
+
+    campaign_worker = campaign_sub.add_parser(
+        "worker", help="join a campaign service as a worker process")
+    campaign_worker.add_argument("--connect", required=True,
+                                 metavar="HOST:PORT",
+                                 help="coordinator address")
+    campaign_worker.add_argument("--id", default=None,
+                                 help="stable worker identity "
+                                      "(default: worker-<pid>)")
+    campaign_worker.add_argument("--reconnect-s", type=float, default=30.0,
+                                 help="give up after this many seconds of "
+                                      "consecutive unreachable-coordinator "
+                                      "time (default: 30)")
+    campaign_worker.add_argument("--forever", action="store_true",
+                                 help="keep serving future campaigns "
+                                      "instead of exiting when the current "
+                                      "one drains")
+    campaign_worker.set_defaults(func=_cmd_campaign)
+
+    campaign_submit = campaign_sub.add_parser(
+        "submit", help="POST a campaign spec to a running service")
+    campaign_submit.add_argument("spec", help="campaign spec file (JSON)")
+    campaign_submit.add_argument("--url", required=True,
+                                 help="campaign service (http://HOST:PORT)")
+    campaign_submit.add_argument("--journal", default=None,
+                                 help="journal path on the service host "
+                                      "(default: <name>.journal.jsonl)")
+    campaign_submit.set_defaults(func=_cmd_campaign)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a campaign over TCP: coordinator, HTTP API and a "
+             "managed local worker fleet")
+    serve.add_argument("spec", nargs="?", default=None,
+                       help="campaign spec file (omit to resume the "
+                            "campaign recorded in --journal)")
+    serve.add_argument("--journal", default="campaign.jsonl",
+                       help="append-only checkpoint file "
+                            "(default: campaign.jsonl)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="managed local worker processes (0 = rely on "
+                            "external 'repro campaign worker' processes)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default: 0 = ephemeral; the bound "
+                            "port is printed on stderr)")
+    serve.add_argument("--lease-timeout", type=float, default=60.0,
+                       help="seconds before an unreported lease is "
+                            "re-queued (default: 60)")
+    serve.add_argument("--steal-after", type=float, default=2.0,
+                       help="lease age before idle workers may steal it "
+                            "(default: 2)")
+    serve.add_argument("--fsync", action="store_true",
+                       help="fsync the journal after every record")
+    serve.add_argument("--keep-alive", action="store_true",
+                       help="keep serving (and accepting submissions) "
+                            "after the campaign drains")
+    serve.add_argument("--progress-every", type=int, default=1,
+                       help="print a progress line every N completed units")
+    serve.set_defaults(func=_cmd_serve)
 
     cache = sub.add_parser("cache",
                            help="manage the on-disk trial-result cache")

@@ -86,3 +86,12 @@ class HijackError(AttackError):
 
 class ConfigurationError(ReproError):
     """Invalid experiment or model configuration."""
+
+
+class ServiceError(ReproError):
+    """The campaign service (coordinator, worker, or client) failed.
+
+    Raised for protocol violations, unreachable endpoints, and serving
+    states that cannot make progress (e.g. every worker of a managed
+    fleet died mid-campaign).
+    """

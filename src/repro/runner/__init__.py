@@ -30,6 +30,7 @@ from repro.runner.executor import (
     merge_trial_metrics,
     parallel_map,
     resolve_jobs,
+    run_unit_robust,
     run_units_robust,
 )
 
@@ -44,6 +45,7 @@ __all__ = [
     "merge_trial_metrics",
     "parallel_map",
     "resolve_jobs",
+    "run_unit_robust",
     "run_units_robust",
     "source_tree_token",
     "stable_trial_key",

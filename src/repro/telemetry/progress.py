@@ -39,6 +39,21 @@ class ProgressTracker:
         self.total = total
         self.done = self.ok = self.failed = self.cached = 0
 
+    def preload(self, done: int, ok: int, failed: int,
+                cached: int = 0) -> None:
+        """Seed the counters from work completed before tracking began.
+
+        ``campaign status --follow`` attaches to campaigns mid-flight;
+        preloading the journal's counts keeps the printed ``done/total``
+        line consistent with the service's own status.
+        """
+        self.done, self.ok, self.failed, self.cached = done, ok, failed, cached
+
+    def as_dict(self) -> dict:
+        """The counters as a plain dict (status payloads, tests)."""
+        return {"total": self.total, "done": self.done, "ok": self.ok,
+                "failed": self.failed, "cached": self.cached}
+
     def update(self, status: str, cached: bool = False) -> None:
         """Record one completed unit (``status``: ``"ok"``/``"failed"``)."""
         self.done += 1
