@@ -75,28 +75,25 @@ __all__ = [
 _WATCHDOG_PERIOD_S = 0.25
 
 
-async def _serve_async(spec: Optional[CampaignSpec],
-                       journal_path: Union[str, Path],
+async def _serve_async(coordinator: Coordinator,
                        workers: int,
                        host: str,
                        port: int,
-                       lease_timeout_s: float,
-                       steal_after_s: float,
-                       fsync: bool,
                        keep_alive: bool,
                        on_event: Optional[Callable[[dict], None]],
                        on_listening: Optional[Callable[[int], None]],
                        ) -> CampaignState:
-    """The event-loop body of :func:`serve_campaign`."""
-    coordinator = Coordinator(lease_timeout_s=lease_timeout_s,
-                              steal_after_s=steal_after_s, fsync=fsync)
+    """The event-loop body of :func:`serve_campaign`.
+
+    The campaign is already submitted to ``coordinator`` — spec loading
+    and journal replay are synchronous file I/O and happen in
+    :func:`serve_campaign` *before* the event loop exists, so the server
+    never serves connections while blocked on disk.
+    """
     server = ServiceServer(coordinator, host=host, port=port)
     await server.start()
     fleet: List[Any] = []
     try:
-        if spec is None:
-            spec = load_state(journal_path).spec
-        coordinator.submit(spec, journal_path)
         if on_listening is not None:
             on_listening(server.port)
         done = asyncio.Event()
@@ -171,6 +168,15 @@ def serve_campaign(spec: Optional[CampaignSpec],
     making progress, so losing some of N is fine; losing all of them
     with no external help would hang forever.
     """
+    coordinator = Coordinator(lease_timeout_s=lease_timeout_s,
+                              steal_after_s=steal_after_s, fsync=fsync)
+    # Load and submit synchronously, before the event loop exists:
+    # journal replay reads the whole file, and doing it inside the loop
+    # would stall every early worker connection (and trip the
+    # blocking-in-async lint, which is how this placement is enforced).
+    if spec is None:
+        spec = load_state(journal_path).spec
+    coordinator.submit(spec, journal_path)
     return asyncio.run(_serve_async(
-        spec, journal_path, workers, host, port, lease_timeout_s,
-        steal_after_s, fsync, keep_alive, on_event, on_listening))
+        coordinator, workers, host, port, keep_alive, on_event,
+        on_listening))

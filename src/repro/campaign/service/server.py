@@ -174,7 +174,13 @@ class ServiceServer:
                                          "error": "malformed JSON"}
             else:
                 try:
-                    reply = self.coordinator.handle_message(message)
+                    # Bounded blocking: the coordinator is synchronous by
+                    # contract (single loop thread) and its only I/O is
+                    # one buffered journal-line append (+ opt-in fsync);
+                    # an executor hop would serialise on the same single
+                    # writer anyway while adding cross-thread hand-off.
+                    reply = self.coordinator.handle_message(  # lint-ok: blocking-in-async bounded
+                        message)
                 except ReproError as exc:
                     reply = {"op": "error", "error": str(exc)}
             writer.write(_json_body(reply))
@@ -199,8 +205,12 @@ class ServiceServer:
         if path == "/status" and query.get("follow") in ("1", "true"):
             await self._stream_status(writer)
             return
-        status, payload, content_type = self._route(method, path, query,
-                                                    body)
+        # Bounded blocking: routing is in-memory except POST /campaign,
+        # where the journal replay *is* the submit operation and must
+        # finish before any worker may lease (same single-writer
+        # invariant as the worker channel above).
+        status, payload, content_type = self._route(  # lint-ok: blocking-in-async bounded
+            method, path, query, body)
         writer.write(_http_response(status, payload, content_type))
         await writer.drain()
 
@@ -261,6 +271,12 @@ class ServiceServer:
         except ReproError as exc:
             status = 409 if "still being served" in str(exc) else 400
             return (status, _json_body({"error": str(exc)}),
+                    "application/json")
+        except ValueError as exc:
+            # Report building can surface ValueError (e.g. merging
+            # telemetry snapshots with mismatched schemas); translate it
+            # into a response instead of crashing the connection task.
+            return (500, _json_body({"error": str(exc)}),
                     "application/json")
 
     def _handle_submit(self, body: bytes) -> Tuple[int, bytes, str]:

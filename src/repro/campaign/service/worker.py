@@ -106,10 +106,18 @@ def _serve_session(channel: WorkerChannel, worker_id: str) -> str:
     re-hello wanted).
     """
     welcome = channel.request({"op": "hello", "worker": worker_id})
-    if welcome.get("op") != "welcome":
-        return "idle"
-    fingerprint = str(welcome["fingerprint"])
-    spec = CampaignSpec.from_dict(welcome["spec"])
+    op = welcome.get("op")
+    if op == "idle":
+        return "idle"  # coordinator is up but has no campaign loaded
+    if op != "welcome":
+        raise ServiceError(f"unexpected hello reply: {welcome!r}")
+    fingerprint = welcome.get("fingerprint")
+    if not isinstance(fingerprint, str):
+        raise ServiceError(f"welcome reply lacks a fingerprint: {welcome!r}")
+    spec_dict = welcome.get("spec")
+    if not isinstance(spec_dict, dict):
+        raise ServiceError(f"welcome reply lacks a spec: {welcome!r}")
+    spec = CampaignSpec.from_dict(spec_dict)
     if spec.fingerprint != fingerprint:
         raise ServiceError("coordinator spec does not match its "
                            "advertised fingerprint")
@@ -120,6 +128,10 @@ def _serve_session(channel: WorkerChannel, worker_id: str) -> str:
         op = reply.get("op")
         if op == "drained":
             return "drained"
+        if op == "idle":
+            # The coordinator restarted (or our campaign was replaced and
+            # closed) between leases; re-handshake instead of erroring.
+            return "idle"
         if op == "wait":
             time.sleep(float(reply.get("retry_s", 0.2)))
             continue
@@ -127,9 +139,10 @@ def _serve_session(channel: WorkerChannel, worker_id: str) -> str:
             return "stale"
         if op != "unit":
             raise ServiceError(f"unexpected lease reply: {reply!r}")
-        unit = units.get(str(reply["unit_id"]))
+        unit_id = str(reply.get("unit_id"))
+        unit = units.get(unit_id)
         if unit is None:
-            raise ServiceError(f"leased unknown unit {reply['unit_id']!r}")
+            raise ServiceError(f"leased unknown unit {unit_id!r}")
         payload = _execute_unit(spec, unit)
         ack = channel.request({"op": "result", "worker": worker_id,
                                "fingerprint": fingerprint,

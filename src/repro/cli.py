@@ -312,6 +312,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lintkit import (
         default_package_root,
         load_baseline,
+        prune_baseline,
         run_lint,
         save_baseline,
     )
@@ -333,8 +334,26 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 baseline_path = candidate
                 break
 
+    flow_cache = None
+    if args.flow and not args.no_flow_cache:
+        from repro.lintkit.flow import default_flow_cache_dir
+
+        flow_cache = Path(args.flow_cache) if args.flow_cache \
+            else default_flow_cache_dir()
+
     baseline = load_baseline(baseline_path) if baseline_path else None
-    report = run_lint(root=root, baseline=baseline)
+    report = run_lint(root=root, baseline=baseline, flow=args.flow,
+                      flow_cache=flow_cache)
+
+    if args.prune_baseline:
+        if baseline is None:
+            print("error: --prune-baseline needs a baseline file "
+                  "(none found; pass --baseline)", file=sys.stderr)
+            return 2
+        removed = prune_baseline(baseline, report.stale_baseline)
+        report.stale_baseline = []
+        print(f"pruned {removed} stale baseline entr"
+              f"{'y' if removed == 1 else 'ies'} from {baseline.path}")
 
     if args.write_baseline:
         target = baseline_path or Path.cwd() / "lint-baseline.json"
@@ -887,6 +906,22 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--write-baseline", action="store_true",
                       help="grandfather every current finding into the "
                            "baseline file instead of failing on them")
+    lint.add_argument("--flow", dest="flow", action="store_true",
+                      default=True,
+                      help="run the flow-aware checkers over the project "
+                           "call graph (default)")
+    lint.add_argument("--no-flow", dest="flow", action="store_false",
+                      help="skip call-graph construction and the "
+                           "flow-aware checkers")
+    lint.add_argument("--flow-cache", default=None,
+                      help="directory for the call-graph cache (default: "
+                           "the repro cache dir; keyed by a source-tree "
+                           "hash)")
+    lint.add_argument("--no-flow-cache", action="store_true",
+                      help="always rebuild the call graph")
+    lint.add_argument("--prune-baseline", action="store_true",
+                      help="drop stale fingerprints from the baseline "
+                           "file instead of only reporting them")
     lint.set_defaults(func=_cmd_lint)
     return parser
 

@@ -28,9 +28,15 @@ Programmatic use::
     assert not report.findings
 """
 
-from repro.lintkit.baseline import Baseline, load_baseline, save_baseline
+from repro.lintkit.baseline import (
+    Baseline,
+    load_baseline,
+    prune_baseline,
+    save_baseline,
+)
 from repro.lintkit.checkers import ALL_CHECKERS, checker_index
 from repro.lintkit.engine import (
+    FlowStats,
     LintReport,
     ModuleSource,
     Project,
@@ -43,6 +49,7 @@ __all__ = [
     "ALL_CHECKERS",
     "Baseline",
     "Finding",
+    "FlowStats",
     "LintReport",
     "ModuleSource",
     "Project",
@@ -50,6 +57,7 @@ __all__ = [
     "default_package_root",
     "fingerprint_findings",
     "load_baseline",
+    "prune_baseline",
     "run_lint",
     "save_baseline",
 ]

@@ -84,3 +84,25 @@ def save_baseline(path: Path, findings: List[Finding],
     path = Path(path)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return Baseline(entries=entries, path=path)
+
+
+def prune_baseline(baseline: Baseline, stale: List[str]) -> int:
+    """Drop ``stale`` fingerprints from ``baseline`` and rewrite its file.
+
+    Unlike :func:`save_baseline` — which rebuilds entries from findings
+    and therefore resets every reason to a generic one — this preserves
+    the surviving entries byte-for-byte (checker, path, snippet and the
+    reviewed reason).  Returns the number of entries removed; the file
+    is rewritten only when at least one entry was dropped.
+    """
+    if baseline.path is None:
+        raise ValueError("baseline has no backing file to prune")
+    removed = 0
+    for fingerprint in stale:
+        if baseline.entries.pop(fingerprint, None) is not None:
+            removed += 1
+    if removed:
+        payload = {"version": BASELINE_VERSION, "entries": baseline.entries}
+        Path(baseline.path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return removed

@@ -14,11 +14,18 @@ from repro.lintkit.checkers.determinism import (
     SetIterationChecker,
 )
 from repro.lintkit.checkers.docs import MissingDocstringChecker
+from repro.lintkit.checkers.flow import (
+    BlockingInAsyncChecker,
+    ErrorTaxonomyChecker,
+    ProtocolConformanceChecker,
+    RngFlowChecker,
+)
 from repro.lintkit.checkers.perf import MissingSlotsChecker, TelemetryGuardChecker
 from repro.lintkit.checkers.process_safety import ResultCaptureChecker
 from repro.lintkit.checkers.spec import MagicNumberChecker
 
-#: Every shipped checker, in canonical order.
+#: Every shipped checker, in canonical order.  The flow-aware quartet
+#: (call graph + effect fixpoint) comes last; ``--no-flow`` drops it.
 ALL_CHECKERS = (
     NondeterministicCallChecker(),
     SetIterationChecker(),
@@ -28,6 +35,10 @@ ALL_CHECKERS = (
     TelemetryGuardChecker(),
     ResultCaptureChecker(),
     MissingDocstringChecker(),
+    BlockingInAsyncChecker(),
+    RngFlowChecker(),
+    ErrorTaxonomyChecker(),
+    ProtocolConformanceChecker(),
 )
 
 
@@ -38,13 +49,17 @@ def checker_index() -> Dict[str, Checker]:
 
 __all__ = [
     "ALL_CHECKERS",
+    "BlockingInAsyncChecker",
     "Checker",
+    "ErrorTaxonomyChecker",
     "FloatTimeEqualityChecker",
     "MagicNumberChecker",
     "MissingDocstringChecker",
     "MissingSlotsChecker",
     "NondeterministicCallChecker",
+    "ProtocolConformanceChecker",
     "ResultCaptureChecker",
+    "RngFlowChecker",
     "SetIterationChecker",
     "TelemetryGuardChecker",
     "checker_index",

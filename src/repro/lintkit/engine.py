@@ -19,6 +19,7 @@ from repro.lintkit.findings import (
 from repro.lintkit.model import ModuleSource, Project
 
 __all__ = [
+    "FlowStats",
     "LintReport",
     "ModuleSource",
     "Project",
@@ -26,6 +27,26 @@ __all__ = [
     "load_project",
     "run_lint",
 ]
+
+
+@dataclass
+class FlowStats:
+    """Call-graph summary of a flow-enabled lint run.
+
+    ``source`` is ``"built"`` (graph constructed this run) or
+    ``"cache"`` (loaded from the on-disk graph cache).
+    """
+
+    functions: int = 0
+    edges: int = 0
+    source: str = "built"
+
+    def to_dict(self) -> dict:
+        return {
+            "functions": self.functions,
+            "edges": self.edges,
+            "source": self.source,
+        }
 
 
 def default_package_root() -> Path:
@@ -46,6 +67,7 @@ class LintReport:
         suppressed: findings waived inline via ``# lint-ok:`` comments.
         stale_baseline: baseline fingerprints matching nothing anymore.
         files_checked: number of parsed source files.
+        flow: call-graph stats when flow analysis ran, else ``None``.
     """
 
     root: Path
@@ -54,6 +76,7 @@ class LintReport:
     suppressed: List[Finding] = field(default_factory=list)
     stale_baseline: List[str] = field(default_factory=list)
     files_checked: int = 0
+    flow: Optional[FlowStats] = None
 
     @property
     def ok(self) -> bool:
@@ -70,6 +93,11 @@ class LintReport:
             f"{len(self.suppressed)} waived inline, "
             f"{self.files_checked} files)"
         )
+        if self.flow is not None:
+            lines.append(
+                f"flow: {self.flow.functions} functions, "
+                f"{self.flow.edges} call edges ({self.flow.source})"
+            )
         if self.stale_baseline:
             lines.append(
                 f"note: {len(self.stale_baseline)} stale baseline "
@@ -93,6 +121,7 @@ class LintReport:
             "baselined": [f.to_dict() for f in self.baselined],
             "suppressed": [f.to_dict() for f in self.suppressed],
             "stale_baseline": list(self.stale_baseline),
+            "flow": self.flow.to_dict() if self.flow is not None else None,
         }
         return json.dumps(payload, indent=2, sort_keys=True)
 
@@ -111,6 +140,8 @@ def run_lint(
     root: Optional[Path] = None,
     checkers: Sequence[Checker] = ALL_CHECKERS,
     baseline: Optional[Baseline] = None,
+    flow: bool = True,
+    flow_cache: Optional[Path] = None,
 ) -> LintReport:
     """Lint the tree under ``root`` and return a :class:`LintReport`.
 
@@ -119,11 +150,28 @@ def run_lint(
             package so ``repro lint`` checks itself wherever it runs.
         checkers: checker instances to run (defaults to all).
         baseline: grandfathered findings; ``None`` means empty.
+        flow: build the project call graph and run the flow-aware
+            checkers; ``False`` drops every ``requires_flow`` checker.
+        flow_cache: directory for the serialised call-graph cache
+            (keyed by the source-tree hash); ``None`` disables caching.
     """
     if root is None:
         root = default_package_root()
     project = load_project(root)
     module_lines = {m.relpath: m.lines for m in project.modules}
+
+    flow_stats: Optional[FlowStats] = None
+    if flow:
+        from repro.lintkit.flow import attach_analysis
+
+        analysis = attach_analysis(project, cache_dir=flow_cache)
+        flow_stats = FlowStats(
+            functions=len(analysis.graph.functions),
+            edges=len(analysis.graph.edges),
+            source=analysis.source,
+        )
+    else:
+        checkers = [c for c in checkers if not c.requires_flow]
 
     raw: List[Finding] = []
     for checker in checkers:
@@ -153,6 +201,7 @@ def run_lint(
         suppressed=suppressed,
         stale_baseline=stale,
         files_checked=len(project.modules),
+        flow=flow_stats,
     )
 
 

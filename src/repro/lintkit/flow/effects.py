@@ -1,0 +1,273 @@
+"""Fixpoint effect propagation over the project call graph.
+
+Three effects form the lattice (each a powerset / boolean domain, so the
+fixpoint is a plain monotone worklist over reverse call edges):
+
+* ``blocking`` — the function may block the calling thread (file/socket
+  I/O, ``time.sleep``, ``subprocess``, process/thread ``join``, sync
+  ``queue.get``).  Propagates along ``call`` and ``ref`` edges; masked
+  by ``executor`` (the pool thread blocks, not the caller) and ``spawn``
+  edges.
+* ``draws-rng`` — the function may consume named RNG substream state.
+  Propagates along ``call``, ``ref`` and ``executor`` edges (a draw on a
+  pool thread still perturbs the stream).
+* ``raises(T)`` — exception class names that may escape the function.
+  Propagates along ``call``, ``ref`` and ``executor`` edges, filtered at
+  every call site by the ``except`` clauses of enclosing ``try`` bodies
+  (subtype-aware via the project class hierarchy plus the builtin one).
+
+Each effect carries a *witness* — the intrinsic site or call edge that
+introduced it — so checkers can render a human-readable chain from the
+flagged function down to the primitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.lintkit.flow.graph import CallEdge, FlowGraph
+
+#: Builtin exception hierarchy (terminal names), enough to decide
+#: ``except`` coverage for exceptions the project raises.
+_BUILTIN_BASES: Dict[str, str] = {
+    "Exception": "BaseException",
+    "ArithmeticError": "Exception",
+    "ZeroDivisionError": "ArithmeticError",
+    "OverflowError": "ArithmeticError",
+    "AssertionError": "Exception",
+    "AttributeError": "Exception",
+    "BufferError": "Exception",
+    "EOFError": "Exception",
+    "ImportError": "Exception",
+    "ModuleNotFoundError": "ImportError",
+    "LookupError": "Exception",
+    "IndexError": "LookupError",
+    "KeyError": "LookupError",
+    "MemoryError": "Exception",
+    "NameError": "Exception",
+    "NotImplementedError": "RuntimeError",
+    "OSError": "Exception",
+    "IOError": "OSError",
+    "FileNotFoundError": "OSError",
+    "FileExistsError": "OSError",
+    "PermissionError": "OSError",
+    "ConnectionError": "OSError",
+    "ConnectionResetError": "ConnectionError",
+    "ConnectionRefusedError": "ConnectionError",
+    "ConnectionAbortedError": "ConnectionError",
+    "BrokenPipeError": "ConnectionError",
+    "TimeoutError": "OSError",
+    "InterruptedError": "OSError",
+    "ReferenceError": "Exception",
+    "RuntimeError": "Exception",
+    "RecursionError": "RuntimeError",
+    "StopIteration": "Exception",
+    "StopAsyncIteration": "Exception",
+    "SyntaxError": "Exception",
+    "SystemError": "Exception",
+    "TypeError": "Exception",
+    "ValueError": "Exception",
+    "UnicodeError": "ValueError",
+    "UnicodeDecodeError": "UnicodeError",
+    "UnicodeEncodeError": "UnicodeError",
+    "IncompleteReadError": "EOFError",
+    "LimitOverrunError": "Exception",
+    "KeyboardInterrupt": "BaseException",
+    "SystemExit": "BaseException",
+    "GeneratorExit": "BaseException",
+    "CancelledError": "BaseException",
+}
+
+#: Exceptions that are control flow, not failures — never reported.
+CONTROL_FLOW_EXCEPTIONS = frozenset({
+    "SystemExit", "KeyboardInterrupt", "GeneratorExit", "CancelledError",
+    "StopIteration", "StopAsyncIteration",
+})
+
+#: Edge kinds along which each effect propagates caller-ward.
+_PROPAGATE_KINDS = {
+    "blocking": frozenset({"call", "ref"}),
+    "draws-rng": frozenset({"call", "ref", "executor"}),
+    "raises": frozenset({"call", "ref", "executor"}),
+}
+
+
+@dataclass
+class Witness:
+    """Why a function has an effect: an intrinsic site or a call edge."""
+
+    kind: str                    # "intrinsic" | "edge"
+    line: int                    # site line in the function's own module
+    detail: str                  # primitive name (intrinsic witnesses)
+    callee: Optional[str] = None  # callee fid (edge witnesses)
+
+
+class ExceptionHierarchy:
+    """Subtype queries over project + builtin exception classes."""
+
+    def __init__(self, class_bases: Dict[str, Tuple[str, ...]]) -> None:
+        self._bases = class_bases
+
+    def parents(self, name: str) -> Tuple[str, ...]:
+        project = self._bases.get(name)
+        if project:
+            return project
+        builtin = _BUILTIN_BASES.get(name)
+        return (builtin,) if builtin is not None else ()
+
+    def is_subtype(self, name: str, ancestor: str) -> bool:
+        """Whether exception ``name`` is ``ancestor`` or derives from it."""
+        if ancestor == "BaseException":
+            return True
+        seen = set()
+        stack = [name]
+        while stack:
+            current = stack.pop()
+            if current == ancestor:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.parents(current))
+        return False
+
+    def caught_by(self, exc: str, caught: Tuple[str, ...]) -> bool:
+        """Whether any handler in ``caught`` catches ``exc``."""
+        return any(self.is_subtype(exc, c) for c in caught)
+
+    def is_taxonomy_member(self, exc: str, root: str) -> bool:
+        """Whether ``exc`` belongs to the project taxonomy rooted at
+        ``root`` (terminal class name, e.g. ``"ReproError"``)."""
+        return self.is_subtype(exc, root)
+
+
+@dataclass
+class EffectResults:
+    """Fixpoint output: per-function effect sets with witnesses."""
+
+    blocking: Dict[str, Witness]
+    draws_rng: Dict[str, Witness]
+    raises: Dict[str, Dict[str, Witness]]
+    hierarchy: ExceptionHierarchy
+
+    def blocking_chain(self, fid: str, limit: int = 6) -> List[str]:
+        """Human-readable witness chain from ``fid`` to the primitive."""
+        return self._chain(self.blocking, fid, limit)
+
+    def rng_chain(self, fid: str, limit: int = 6) -> List[str]:
+        return self._chain(self.draws_rng, fid, limit)
+
+    def raise_chain(self, fid: str, exc: str,
+                    limit: int = 6) -> List[str]:
+        chain: List[str] = []
+        current: Optional[str] = fid
+        for _ in range(limit):
+            if current is None:
+                break
+            per_exc = self.raises.get(current, {})
+            witness = per_exc.get(exc)
+            if witness is None:
+                break
+            if witness.kind == "intrinsic":
+                chain.append(f"raise {exc} at line {witness.line}")
+                break
+            chain.append(_short_fid(witness.callee or "?"))
+            current = witness.callee
+        return chain
+
+    def _chain(self, table: Dict[str, Witness], fid: str,
+               limit: int) -> List[str]:
+        chain: List[str] = []
+        current: Optional[str] = fid
+        for _ in range(limit):
+            if current is None:
+                break
+            witness = table.get(current)
+            if witness is None:
+                break
+            if witness.kind == "intrinsic":
+                chain.append(witness.detail)
+                break
+            chain.append(_short_fid(witness.callee or "?"))
+            current = witness.callee
+        return chain
+
+
+def _short_fid(fid: str) -> str:
+    """``campaign/journal.py:JournalWriter._write`` -> qualname."""
+    return fid.rsplit(":", 1)[-1]
+
+
+def propagate(graph: FlowGraph) -> EffectResults:
+    """Run the fixpoint and return per-function effect sets."""
+    hierarchy = ExceptionHierarchy(graph.class_bases)
+    blocking: Dict[str, Witness] = {}
+    draws_rng: Dict[str, Witness] = {}
+    raises: Dict[str, Dict[str, Witness]] = {}
+
+    # Seed from intrinsics.
+    for fid, info in graph.functions.items():
+        for intrinsic in info.intrinsics:
+            if intrinsic.effect == "blocking" and fid not in blocking:
+                blocking[fid] = Witness(kind="intrinsic",
+                                        line=intrinsic.line,
+                                        detail=intrinsic.detail)
+            elif intrinsic.effect == "draws-rng" and fid not in draws_rng:
+                draws_rng[fid] = Witness(kind="intrinsic",
+                                         line=intrinsic.line,
+                                         detail=intrinsic.detail)
+        for site in info.raises:
+            if hierarchy.caught_by(site.exc, site.caught):
+                continue
+            per_exc = raises.setdefault(fid, {})
+            if site.exc not in per_exc:
+                per_exc[site.exc] = Witness(kind="intrinsic",
+                                            line=site.line,
+                                            detail=site.exc)
+
+    edges_to_caller: Dict[str, List[CallEdge]] = graph.edges_to()
+
+    # Worklist: when a callee gains an effect, revisit its callers.
+    worklist: List[str] = sorted(
+        set(blocking) | set(draws_rng) | set(raises))
+    in_list = set(worklist)
+    iterations = 0
+    max_iterations = 20 * max(1, len(graph.functions))
+    while worklist and iterations < max_iterations:
+        iterations += 1
+        fid = worklist.pop()
+        in_list.discard(fid)
+        for edge in edges_to_caller.get(fid, []):
+            caller = edge.caller
+            if caller not in graph.functions:
+                continue
+            changed = False
+            if fid in blocking and caller not in blocking and \
+                    edge.kind in _PROPAGATE_KINDS["blocking"]:
+                blocking[caller] = Witness(kind="edge", line=edge.line,
+                                           detail="", callee=fid)
+                changed = True
+            if fid in draws_rng and caller not in draws_rng and \
+                    edge.kind in _PROPAGATE_KINDS["draws-rng"]:
+                draws_rng[caller] = Witness(kind="edge", line=edge.line,
+                                            detail="", callee=fid)
+                changed = True
+            if fid in raises and edge.kind in _PROPAGATE_KINDS["raises"]:
+                per_caller = raises.setdefault(caller, {})
+                for exc in raises[fid]:
+                    if exc in per_caller:
+                        continue
+                    if hierarchy.caught_by(exc, edge.caught):
+                        continue
+                    per_caller[exc] = Witness(kind="edge", line=edge.line,
+                                              detail="", callee=fid)
+                    changed = True
+                if not per_caller:
+                    raises.pop(caller, None)
+            if changed and caller not in in_list:
+                worklist.append(caller)
+                in_list.add(caller)
+
+    return EffectResults(blocking=blocking, draws_rng=draws_rng,
+                         raises=raises, hierarchy=hierarchy)

@@ -51,7 +51,7 @@ class FrameRecorder:
     """
 
     def __init__(self, medium: Medium, max_frames: Optional[int] = None,
-                 board_id: int = 0):
+                 board_id: int = 0) -> None:
         self.board_id = board_id
         self.frames: Deque[NordicBleFrame] = deque(maxlen=max_frames)
         #: Frames evicted by the bound so far.

@@ -37,7 +37,7 @@ class Counter:
 
     __slots__ = ("name", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
 
@@ -54,7 +54,7 @@ class Gauge:
 
     __slots__ = ("name", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
 
@@ -77,7 +77,7 @@ class Histogram:
 
     __slots__ = ("name", "buckets", "counts", "total", "count")
 
-    def __init__(self, name: str, buckets: Sequence[float]):
+    def __init__(self, name: str, buckets: Sequence[float]) -> None:
         bounds = tuple(float(b) for b in buckets)
         if list(bounds) != sorted(set(bounds)):
             raise ValueError(f"histogram {name!r}: buckets must be strictly "
@@ -122,7 +122,7 @@ class MetricsRegistry:
 
     __slots__ = ("enabled", "_counters", "_gauges", "_histograms")
 
-    def __init__(self, enabled: bool = False):
+    def __init__(self, enabled: bool = False) -> None:
         self.enabled = enabled
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}

@@ -180,7 +180,7 @@ class PcapWriter:
     """
 
     def __init__(self, destination: Union[str, Path, IO[bytes]],
-                 snaplen: int = 0xFFFF):
+                 snaplen: int = 0xFFFF) -> None:
         if hasattr(destination, "write"):
             self._file: IO[bytes] = destination  # type: ignore[assignment]
             self._owns_file = False
@@ -210,14 +210,14 @@ class PcapWriter:
     def __enter__(self) -> "PcapWriter":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
 class PcapReader:
     """Parses a Nordic BLE pcap stream back into frames."""
 
-    def __init__(self, source: Union[str, Path, IO[bytes]]):
+    def __init__(self, source: Union[str, Path, IO[bytes]]) -> None:
         if hasattr(source, "read"):
             self._file: IO[bytes] = source  # type: ignore[assignment]
             self._owns_file = False
@@ -235,7 +235,7 @@ class PcapReader:
             raise PcapFormatError(
                 f"not a Nordic BLE capture: link type {network}")
 
-    def __iter__(self):
+    def __iter__(self) -> "PcapReader":
         return self
 
     def __next__(self) -> NordicBleFrame:
@@ -264,7 +264,7 @@ class PcapReader:
     def __enter__(self) -> "PcapReader":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 

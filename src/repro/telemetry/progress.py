@@ -24,7 +24,7 @@ class ProgressTracker:
     """
 
     def __init__(self, total: int = 0, stream: Optional[TextIO] = None,
-                 label: str = "campaign", every: int = 1):
+                 label: str = "campaign", every: int = 1) -> None:
         self.stream = stream
         self.label = label
         self.every = max(1, every)

@@ -79,7 +79,7 @@ class RingSink:
 
     __slots__ = ("records", "dropped")
 
-    def __init__(self, max_records: int):
+    def __init__(self, max_records: int) -> None:
         if max_records <= 0:
             raise ValueError(f"max_records must be positive: {max_records}")
         self.records: deque["TraceRecord"] = deque(maxlen=max_records)
@@ -134,7 +134,7 @@ class JsonlSink:
             or an already-open text file object (left open).
     """
 
-    def __init__(self, destination: Union[str, Path, IO[str]]):
+    def __init__(self, destination: Union[str, Path, IO[str]]) -> None:
         if hasattr(destination, "write"):
             self._file: IO[str] = destination  # type: ignore[assignment]
             self._owns_file = False
@@ -161,7 +161,7 @@ class JsonlSink:
     def __enter__(self) -> "JsonlSink":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 

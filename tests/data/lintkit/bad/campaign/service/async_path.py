@@ -1,0 +1,25 @@
+"""Serve-loop fixture: blocking calls reachable from coroutines.
+
+Re-enacts the PR 8 freeze — a coroutine joining worker processes
+directly, stalling the event loop — plus the interprocedural variant
+where the sleep hides one call deep.
+"""
+
+import time
+
+
+def settle(delay_s):
+    """Let the fleet settle before polling again."""
+    time.sleep(delay_s)
+
+
+async def drain_fleet(fleet):
+    """Wait for every worker process to exit."""
+    for process in fleet:
+        process.join(5.0)
+
+
+async def poll(fleet):
+    """Poll worker liveness between drain rounds."""
+    settle(0.25)
+    return [process.exitcode for process in fleet]

@@ -1,0 +1,13 @@
+"""Worker-loop fixture: a taxonomy leak on the lease path."""
+
+
+def run_worker(channel):
+    """Drive one lease session over ``channel``."""
+    welcome = channel.request({"op": "hello"})
+    op = welcome.get("op")
+    if op != "welcome":
+        raise ValueError(f"unexpected reply: {welcome!r}")
+    reply = channel.request({"op": "lease"})
+    if reply.get("op") == "unit":
+        return reply
+    return None

@@ -1,0 +1,6 @@
+"""Trace-sink fixture that consumes simulation RNG state."""
+
+
+def jitter_timestamps(rng, frames):
+    """Smooth frame timestamps for display by adding sampled noise."""
+    return [frame + rng.normal(0.0, 0.5) for frame in frames]

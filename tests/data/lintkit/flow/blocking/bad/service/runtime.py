@@ -1,0 +1,35 @@
+"""Fixture: blocking joins reachable from the serve coroutines.
+
+Re-enacts the PR 8 freeze in three shapes: a direct ``process.join``
+inside an ``async def``, the same join hidden behind a sync helper,
+and a closure joined from its async parent.
+"""
+
+
+def stop_fleet(fleet):
+    """Join every worker process."""
+    for process in fleet:
+        process.join(5.0)
+
+
+class Server:
+    """Serve-loop wrapper around a worker fleet."""
+
+    async def shutdown(self, fleet):
+        """Drain and stop — blocks the loop through a helper."""
+        stop_fleet(fleet)
+
+    async def reap(self, fleet):
+        """Join exited workers directly on the loop."""
+        for process in fleet:
+            process.join(5.0)
+
+
+async def serve(fleet):
+    """Run until cancelled, then drain via a closure."""
+
+    def drain():
+        for process in fleet:
+            process.join(1.0)
+
+    drain()

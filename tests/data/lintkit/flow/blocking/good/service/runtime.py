@@ -1,0 +1,35 @@
+"""Fixture: blocking joins hopped through the executor.
+
+The compliant twin of the PR 8 re-enactment — every join runs off the
+event loop via ``run_in_executor``, and spawning a worker process does
+not propagate the target's blocking effect.
+"""
+
+import asyncio
+import multiprocessing
+
+
+def stop_fleet(fleet):
+    """Join every worker process (called off-loop only)."""
+    for process in fleet:
+        process.join(5.0)
+
+
+def worker_entry(unit):
+    """Worker process body; blocking here is fine."""
+    unit.wait()
+
+
+class Server:
+    """Serve-loop wrapper around a worker fleet."""
+
+    async def shutdown(self, fleet):
+        """Drain and stop without stalling the loop."""
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, stop_fleet, fleet)
+
+    async def launch(self, unit):
+        """Spawn a worker; the target's blocking stays in the child."""
+        process = multiprocessing.Process(target=worker_entry, args=(unit,))
+        process.start()
+        return process

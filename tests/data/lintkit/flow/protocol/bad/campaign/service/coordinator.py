@@ -1,0 +1,11 @@
+"""Fixture: coordinator replies include an op the worker drops."""
+
+
+def handle_message(message):
+    """Dispatch one worker-protocol message."""
+    op = message.get("op")
+    if op == "hello":
+        return {"op": "welcome"}
+    if op == "lease":
+        return {"op": "unit"}
+    return {"op": "drained"}

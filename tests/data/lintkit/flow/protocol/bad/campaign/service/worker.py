@@ -1,0 +1,20 @@
+"""Fixture: worker protocol with a dead handler branch."""
+
+
+def run_worker(channel):
+    """Drive one session."""
+    welcome = channel.request({"op": "hello"})
+    op = welcome.get("op")
+    if op == "welcome":
+        return lease_loop(channel)
+    if op == "retire":
+        return None
+    return None
+
+
+def lease_loop(channel):
+    """Lease until drained."""
+    reply = channel.request({"op": "lease"})
+    if reply.get("op") == "unit":
+        return reply
+    return None

@@ -1,0 +1,21 @@
+"""Fixture: worker protocol handling every coordinator reply."""
+
+
+def run_worker(channel):
+    """Drive one session."""
+    welcome = channel.request({"op": "hello"})
+    op = welcome.get("op")
+    if op == "welcome":
+        return lease_loop(channel)
+    return None
+
+
+def lease_loop(channel):
+    """Lease until drained."""
+    reply = channel.request({"op": "lease"})
+    op = reply.get("op")
+    if op == "unit":
+        return reply
+    if op == "drained":
+        return None
+    return None

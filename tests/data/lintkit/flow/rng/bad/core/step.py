@@ -1,0 +1,8 @@
+"""Fixture: draw volume gated on telemetry state."""
+
+
+def advance(world, metrics_enabled):
+    """Advance one tick; draws extra jitter only when metrics are on."""
+    if metrics_enabled:
+        world.rng.normal(0.0, 1.0)
+    return world.step()

@@ -1,0 +1,15 @@
+"""Fixture: reporting helpers that consume simulation stream state."""
+
+
+class NoiseSource:
+    """Wraps a child RNG stream for display smoothing."""
+
+    def sample(self, rng):
+        """Draw one jitter sample from the stream."""
+        return rng.normal(0.0, 1.0)
+
+
+def render_row(noise_rng, value):
+    """Format one report row with freshly sampled jitter."""
+    source = NoiseSource()
+    return value + source.sample(noise_rng)

@@ -1,0 +1,9 @@
+"""Fixture: stream consumption independent of telemetry state."""
+
+
+def advance(world, metrics_enabled):
+    """Advance one tick; the draw happens either way."""
+    jitter = world.rng.normal(0.0, 1.0)
+    if metrics_enabled:
+        world.metrics.record(jitter)
+    return world.step()

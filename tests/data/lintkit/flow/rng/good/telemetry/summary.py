@@ -1,0 +1,6 @@
+"""Fixture: reporting helpers fed precomputed jitter values."""
+
+
+def render_row(jitter_value, value):
+    """Format one report row; consumes no stream state."""
+    return value + jitter_value

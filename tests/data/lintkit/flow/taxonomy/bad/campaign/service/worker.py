@@ -1,0 +1,33 @@
+"""Fixture: lease loop that leaks and swallows taxonomy errors."""
+
+from campaign.errors import ServiceError
+
+
+def decode_frame(payload):
+    """Decode one frame; malformed payloads raise KeyError."""
+    if "frame" not in payload:
+        raise KeyError("frame")
+    return payload["frame"]
+
+
+def lease_once(channel):
+    """Lease one unit or raise ServiceError on protocol violations."""
+    reply = channel.request({"op": "lease"})
+    if reply.get("op") != "unit":
+        raise ServiceError(f"unexpected reply: {reply!r}")
+    return reply
+
+
+def run_worker(channel):
+    """Drive the lease loop."""
+    reply = lease_once(channel)
+    return decode_frame(reply)
+
+
+def consume_all(channel):
+    """Process replies until drained, ignoring failures."""
+    try:
+        lease_once(channel)
+    except Exception:
+        return None
+    return True

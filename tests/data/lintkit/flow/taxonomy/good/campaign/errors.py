@@ -1,0 +1,9 @@
+"""Fixture error taxonomy mirroring ``repro.errors``."""
+
+
+class ReproError(Exception):
+    """Root of the fixture error taxonomy."""
+
+
+class ServiceError(ReproError):
+    """Coordinator/worker failures."""

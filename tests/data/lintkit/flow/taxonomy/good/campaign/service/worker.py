@@ -1,0 +1,32 @@
+"""Fixture: lease loop with a sound error taxonomy."""
+
+from campaign.errors import ServiceError
+
+
+def decode_frame(payload):
+    """Decode one frame; malformed payloads raise ServiceError."""
+    if "frame" not in payload:
+        raise ServiceError("reply carried no frame")
+    return payload["frame"]
+
+
+def lease_once(channel):
+    """Lease one unit or raise ServiceError on protocol violations."""
+    reply = channel.request({"op": "lease"})
+    if reply.get("op") != "unit":
+        raise ServiceError(f"unexpected reply: {reply!r}")
+    return reply
+
+
+def run_worker(channel):
+    """Drive the lease loop."""
+    reply = lease_once(channel)
+    return decode_frame(reply)
+
+
+def consume_all(channel):
+    """Process replies until drained, classifying failures."""
+    try:
+        return lease_once(channel)
+    except ServiceError:
+        return None

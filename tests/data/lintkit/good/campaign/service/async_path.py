@@ -1,0 +1,16 @@
+"""Serve-loop fixture: blocking work hopped through the executor."""
+
+import asyncio
+
+
+async def drain_fleet(fleet):
+    """Wait for every worker process to exit without stalling the loop."""
+    loop = asyncio.get_running_loop()
+    for process in fleet:
+        await loop.run_in_executor(None, process.join, 5.0)
+
+
+async def poll(fleet):
+    """Poll worker liveness between drain rounds."""
+    await asyncio.sleep(0.25)
+    return [process.exitcode for process in fleet]

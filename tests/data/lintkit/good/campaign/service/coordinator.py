@@ -1,0 +1,11 @@
+"""Coordinator fixture: every reply op has a worker-side handler."""
+
+
+def handle_message(message):
+    """Dispatch one worker-protocol message."""
+    op = message.get("op")
+    if op == "hello":
+        return {"op": "welcome"}
+    if op == "lease":
+        return {"op": "unit"}
+    return {"op": "idle"}

@@ -1,0 +1,17 @@
+"""Worker-loop fixture: taxonomy-clean lease path."""
+
+from campaign.errors import ServiceError
+
+
+def run_worker(channel):
+    """Drive one lease session over ``channel``."""
+    welcome = channel.request({"op": "hello"})
+    op = welcome.get("op")
+    if op == "idle":
+        return None
+    if op != "welcome":
+        raise ServiceError(f"unexpected reply: {welcome!r}")
+    reply = channel.request({"op": "lease"})
+    if reply.get("op") == "unit":
+        return reply
+    return None

@@ -1,0 +1,6 @@
+"""Trace-sink fixture that leaves simulation RNG state untouched."""
+
+
+def jitter_timestamps(offsets, frames):
+    """Apply precomputed display offsets; consumes no stream state."""
+    return [frame + offset for frame, offset in zip(frames, offsets)]

@@ -46,6 +46,10 @@ EXPECTED_BAD = {
     "telemetry-guard": ("sim/hot.py", "guard"),
     "result-capture": ("experiments/results.py", "Simulator"),
     "missing-docstring": ("analysis/undocumented.py", "docstring"),
+    "blocking-in-async": ("campaign/service/async_path.py", "stalls the event loop"),
+    "rng-flow": ("telemetry/reporters.py", "RNG substream"),
+    "error-taxonomy": ("campaign/service/worker.py", "ValueError"),
+    "protocol-conformance": ("campaign/service/coordinator.py", "no handler"),
 }
 
 
