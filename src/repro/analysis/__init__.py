@@ -4,13 +4,29 @@ from repro.analysis.stats import BoxStats, box_stats
 from repro.analysis.reporting import (
     render_distribution_table,
     render_metrics_table,
+    render_roc_table,
     render_series,
+)
+from repro.analysis.roc import (
+    auc,
+    false_positive_rate,
+    latency_curve,
+    quantile,
+    roc_points,
+    true_positive_rate,
 )
 
 __all__ = [
     "BoxStats",
+    "auc",
     "box_stats",
+    "false_positive_rate",
+    "latency_curve",
+    "quantile",
     "render_distribution_table",
     "render_metrics_table",
+    "render_roc_table",
     "render_series",
+    "roc_points",
+    "true_positive_rate",
 ]

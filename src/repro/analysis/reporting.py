@@ -48,6 +48,44 @@ def render_series(title: str, rows: Sequence[tuple]) -> str:
     return "\n".join(lines)
 
 
+def render_roc_table(title: str, rows: Sequence[Mapping]) -> str:
+    """Render defense-bench ROC rows as an ASCII table.
+
+    Args:
+        title: table caption.
+        rows: dicts from
+            :func:`repro.experiments.defense.summarize_defense` —
+            ``detector``/``traffic`` keys plus ``auc``, ``tpr``, ``fpr``,
+            ``detected``/``n_pos``/``n_neg`` counts and first-alert
+            latency quantiles in µs (``None`` renders as ``-``).
+    """
+
+    def num(value, spec: str) -> str:
+        return "-" if value is None else format(value, spec)
+
+    def ms(value_us) -> str:
+        return "-" if value_us is None else f"{value_us / 1_000.0:.1f}"
+
+    lines = [title, "=" * len(title)]
+    header = (f"{'detector':>18} | {'traffic':<18} | {'AUC':>5} | "
+              f"{'TPR':>5} | {'FPR':>5} | {'det':>5} | "
+              f"{'p50 lat ms':>10} | {'p90 lat ms':>10}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        detected = f"{row['detected']}/{row['n_pos']}"
+        lines.append(
+            f"{row['detector']:>18} | {row['traffic']:<18} | "
+            f"{num(row['auc'], '.3f'):>5} | {num(row['tpr'], '.2f'):>5} | "
+            f"{num(row['fpr'], '.2f'):>5} | {detected:>5} | "
+            f"{ms(row['latency_p50_us']):>10} | "
+            f"{ms(row['latency_p90_us']):>10}"
+        )
+    if not rows:
+        lines.append("(no completed monitored trials)")
+    return "\n".join(lines)
+
+
 def render_failure_taxonomy(title: str, failures: Mapping) -> str:
     """Render campaign failures grouped by kind.
 

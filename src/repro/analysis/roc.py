@@ -1,0 +1,103 @@
+"""ROC/AUC and detection-latency computation for the defense bench.
+
+The bench's primitive is a per-trial *max score* per detector (see
+:meth:`repro.defense.bank.DetectorBank.summaries`): attack trials are
+the positive class, benign and dense-RF-ambient trials the negative
+class.  Everything here is exact integer/rational arithmetic over those
+scores — no sampling, no randomness — so reports are reproducible
+byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.defense.api import ALERT_SCORE
+
+
+def auc(positives: Sequence[float],
+        negatives: Sequence[float]) -> Optional[float]:
+    """Area under the ROC curve via the Mann-Whitney U statistic.
+
+    ``P(score_pos > score_neg)`` with ties counted half — identical to
+    integrating the empirical ROC curve, without having to build it.
+    Returns ``None`` when either class is empty (AUC undefined).
+    """
+    if not positives or not negatives:
+        return None
+    wins = 0.0
+    for p in positives:
+        for n in negatives:
+            if p > n:
+                wins += 1.0
+            elif p == n:
+                wins += 0.5
+    return wins / (len(positives) * len(negatives))
+
+
+def roc_points(positives: Sequence[float], negatives: Sequence[float]
+               ) -> List[Tuple[float, float, float]]:
+    """The empirical ROC curve as ``(threshold, fpr, tpr)`` points.
+
+    One point per distinct observed score (threshold = "alert when score
+    >= t"), from the most permissive threshold to the strictest, plus
+    the trivial (1, 1) and (0, 0) endpoints.
+    """
+    thresholds = sorted(set(positives) | set(negatives))
+    points: List[Tuple[float, float, float]] = [(float("-inf"), 1.0, 1.0)]
+    for t in thresholds:
+        points.append((t, false_positive_rate(negatives, t),
+                       true_positive_rate(positives, t)))
+    points.append((float("inf"), 0.0, 0.0))
+    return points
+
+
+def true_positive_rate(positives: Sequence[float],
+                       threshold: float = ALERT_SCORE) -> Optional[float]:
+    """Fraction of positive trials scoring at or above ``threshold``."""
+    if not positives:
+        return None
+    return sum(1 for s in positives if s >= threshold) / len(positives)
+
+
+def false_positive_rate(negatives: Sequence[float],
+                        threshold: float = ALERT_SCORE) -> Optional[float]:
+    """Fraction of negative trials scoring at or above ``threshold``."""
+    if not negatives:
+        return None
+    return sum(1 for s in negatives if s >= threshold) / len(negatives)
+
+
+def latency_curve(latencies_us: Sequence[float], total: int
+                  ) -> List[Tuple[float, float]]:
+    """Cumulative detection-latency curve.
+
+    Args:
+        latencies_us: first-alert latencies of the detected trials.
+        total: number of trials that *should* have been detected (the
+            curve plateaus below 1.0 when some were missed).
+
+    Returns:
+        ``(latency_us, fraction detected within it)`` per distinct
+        latency, ascending.
+    """
+    if total <= 0:
+        return []
+    points: List[Tuple[float, float]] = []
+    detected = 0
+    for latency in sorted(latencies_us):
+        detected += 1
+        if points and points[-1][0] == latency:
+            points[-1] = (latency, detected / total)
+        else:
+            points.append((latency, detected / total))
+    return points
+
+
+def quantile(values: Sequence[float], q: float) -> Optional[float]:
+    """Nearest-rank quantile (``q`` in [0, 1]) of ``values``."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+    return ordered[index]

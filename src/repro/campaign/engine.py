@@ -211,17 +211,21 @@ def unit_record(unit: TrialUnit, result: Any, outcome: Any,
             failure={"kind": outcome.status, "detail": outcome.detail,
                      "retries": outcome.retries},
         )
+    result_dict = {
+        "success": bool(result.success),
+        "attempts": int(result.attempts),
+        "effect_observed": bool(result.effect_observed),
+        "connection_survived": bool(result.connection_survived),
+    }
+    detection = getattr(result, "detection", None)
+    if detection is not None:
+        result_dict["detection"] = detection
     return UnitRecord(
         unit_id=unit.unit_id,
         experiment=unit.experiment,
         config_key=unit.config_key,
         status="ok",
-        result={
-            "success": bool(result.success),
-            "attempts": int(result.attempts),
-            "effect_observed": bool(result.effect_observed),
-            "connection_survived": bool(result.connection_survived),
-        },
+        result=result_dict,
         metrics=result.metrics,
         cached=cached,
     )

@@ -130,6 +130,7 @@ def _register_builtins() -> None:
     """Register the built-in experiment modules and their trial runners."""
     from repro.experiments import (
         ablations,
+        defense,
         dense,
         distance,
         hop_interval,
@@ -163,11 +164,16 @@ def _register_builtins() -> None:
     register_experiment(ExperimentDef(
         "occupancy", dense.trial_units,
         "injection success vs. ambient occupancy in dense-RF worlds"))
+    register_experiment(ExperimentDef(
+        "defense", defense.trial_units,
+        "§VIII detector bench: every detector vs. attack and benign "
+        "traffic"))
 
     register_trial_runner(InjectionTrial, run_single_trial)
     register_trial_runner(scenarios.ScenarioTrial,
                           scenarios.run_scenario_trial)
     register_trial_runner(dense.DenseTrial, dense.run_dense_trial)
+    register_trial_runner(defense.DefenseTrial, defense.run_defense_trial)
 
 
 _register_builtins()

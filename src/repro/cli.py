@@ -52,6 +52,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
     if args.which == "occupancy":
         return _cmd_experiment_occupancy(args)
+    if args.which == "defense":
+        return _cmd_experiment_defense(args)
     runners = {
         "hop": (run_experiment_hop_interval, "hop interval"),
         "payload": (run_experiment_payload_size, "PDU size (bytes)"),
@@ -90,6 +92,33 @@ def _cmd_experiment_occupancy(args: argparse.Namespace) -> int:
         f"({args.connections} connections/level, seed {args.seed})",
         summarize_occupancy(results)))
     return 0
+
+
+def _cmd_experiment_defense(args: argparse.Namespace) -> int:
+    """The defense bench prints ROC/AUC and detection-latency rows per
+    detector × attack scenario; negatives are the benign and dense-RF
+    ambient traffics.  Exit code reflects completion — the table itself
+    is the product (some signatures *should* score poorly)."""
+    from repro.analysis.reporting import render_roc_table
+    from repro.experiments.defense import (
+        run_experiment_defense,
+        summarize_defense,
+    )
+
+    _apply_engine(args)
+    results = run_experiment_defense(
+        base_seed=args.seed, n_connections=args.connections,
+        jobs=args.jobs, cache=args.cache)
+    print(render_roc_table(
+        f"Defense bench — every detector vs. attack/benign/ambient "
+        f"traffic ({args.connections} connections/traffic, seed "
+        f"{args.seed})",
+        summarize_defense(results)))
+    failures = sum(1 for trials in results.values() for t in trials
+                   if t.failure is not None)
+    if failures:
+        print(f"\n{failures} trial(s) failed to complete")
+    return 0 if failures == 0 else 1
 
 
 def _cmd_scenario(args: argparse.Namespace) -> int:
@@ -168,6 +197,7 @@ def _cmd_capture(args: argparse.Namespace) -> int:
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro.analysis.reporting import render_metrics_table
     from repro.experiments import (
+        run_experiment_defense,
         run_experiment_distance,
         run_experiment_hop_interval,
         run_experiment_occupancy,
@@ -182,6 +212,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         "distance": run_experiment_distance,
         "wall": run_experiment_wall,
         "occupancy": run_experiment_occupancy,
+        "defense": run_experiment_defense,
     }
     runner = runners[args.which]
     _apply_engine(args)
@@ -248,6 +279,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     import pstats
 
     from repro.experiments import (
+        run_experiment_defense,
         run_experiment_distance,
         run_experiment_hop_interval,
         run_experiment_occupancy,
@@ -261,6 +293,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         "distance": run_experiment_distance,
         "wall": run_experiment_wall,
         "occupancy": run_experiment_occupancy,
+        "defense": run_experiment_defense,
     }
     runner = runners[args.which]
     _apply_engine(args)
@@ -654,7 +687,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="run a Figure 9 sensitivity sweep")
     experiment.add_argument("which",
                             choices=("hop", "payload", "distance", "wall",
-                                     "occupancy"))
+                                     "occupancy", "defense"))
     experiment.add_argument("--connections", type=int, default=10)
     experiment.add_argument("--seed", type=int, default=1)
     experiment.add_argument("--jobs", type=int, default=None,
@@ -702,7 +735,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run an instrumented sweep and print merged telemetry")
     metrics.add_argument("which",
                          choices=("hop", "payload", "distance", "wall",
-                                  "occupancy"))
+                                  "occupancy", "defense"))
     metrics.add_argument("--connections", type=int, default=5)
     metrics.add_argument("--seed", type=int, default=1)
     metrics.add_argument("--jobs", type=int, default=None,
@@ -724,7 +757,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="profile a reduced experiment sweep under cProfile")
     profile.add_argument("which",
                          choices=("hop", "payload", "distance", "wall",
-                                  "occupancy"))
+                                  "occupancy", "defense"))
     profile.add_argument("--connections", type=int, default=2,
                          help="connections per configuration (reduced "
                               "workload default: 2)")

@@ -1,4 +1,4 @@
-"""Countermeasures from paper §VIII.
+"""Countermeasures from paper §VIII, grown into a defense bench.
 
 Three mitigation families are reproduced:
 
@@ -6,11 +6,46 @@ Three mitigation families are reproduced:
    ``SlaveLinkLayer.widening_scale``; exercised by the ablation benchmark.
 2. **Systematic link-layer encryption** — implemented by the SMP + LL
    encryption pipeline; limits InjectaBLE to denial of service.
-3. **Passive intrusion detection** — :class:`~repro.defense.ids.LinkLayerIds`,
-   a RadIoT-style wideband monitor that flags the injection's double-frame
-   signature, anchor anomalies and jamming.
+3. **Passive intrusion detection** — a pluggable detector framework:
+   :class:`~repro.defense.bank.DetectorBank` taps the medium like a
+   RadIoT-style wideband monitor and fans frames out to registered
+   :class:`~repro.defense.api.Detector`s, which emit scored
+   :class:`~repro.defense.api.Verdict` streams (see
+   :mod:`repro.defense.detectors` for the built-ins and
+   ``docs/DEFENSE.md`` for the handbook).
+   :class:`~repro.defense.ids.LinkLayerIds` keeps the original
+   boolean-alert interface as a wrapper over the bank.
 """
 
+from repro.defense import detectors as _builtin_detectors  # noqa: F401
+from repro.defense.api import (
+    ALERT_SCORE,
+    DETECTORS,
+    Detector,
+    DetectorDef,
+    FrameView,
+    Verdict,
+    detector_names,
+    get_detector,
+    make_detectors,
+    register_detector,
+)
+from repro.defense.bank import DetectorBank, verdict_stream_digest
 from repro.defense.ids import IdsAlert, LinkLayerIds
 
-__all__ = ["IdsAlert", "LinkLayerIds"]
+__all__ = [
+    "ALERT_SCORE",
+    "DETECTORS",
+    "Detector",
+    "DetectorBank",
+    "DetectorDef",
+    "FrameView",
+    "IdsAlert",
+    "LinkLayerIds",
+    "Verdict",
+    "detector_names",
+    "get_detector",
+    "make_detectors",
+    "register_detector",
+    "verdict_stream_digest",
+]

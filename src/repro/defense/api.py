@@ -1,0 +1,155 @@
+"""Detector framework core: verdicts, the detector protocol, the registry.
+
+The single-file IDS of early revisions grew into a pluggable framework
+(ROADMAP item 4): a *detector* consumes the medium-tap frame stream —
+pre-digested into :class:`FrameView`s by the
+:class:`~repro.defense.bank.DetectorBank` — and emits a stream of
+*scored* :class:`Verdict`s rather than boolean alerts.  Scores make the
+defense bench possible: ROC/AUC curves sweep the score threshold, while
+the operational alert threshold stays fixed at :data:`ALERT_SCORE`.
+
+Detectors register by name in :data:`DETECTORS` (mirroring
+:mod:`repro.campaign.registry`), so experiment grids, campaign specs and
+the CLI can select them declaratively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.phy.signal import RadioFrame
+
+#: A verdict at or above this score is an operational *alert*; lower
+#: scores are graded evidence the ROC analysis sweeps over.
+ALERT_SCORE = 1.0
+
+#: name → detector definition, in registration order.
+DETECTORS: Dict[str, "DetectorDef"] = {}
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One scored detection emitted by a detector.
+
+    Attributes:
+        time_us: simulator time of the observation.
+        detector: registry name of the emitting detector.
+        score: anomaly score; ``>= ALERT_SCORE`` means alert.
+        kind: signature label (e.g. ``"double-frame"``, ``"slow-response"``).
+        access_address: connection concerned (0 when unknown).
+        detail: free-form human-readable context.
+    """
+
+    time_us: float
+    detector: str
+    score: float
+    kind: str
+    access_address: int
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class FrameView:
+    """One medium-tap frame, pre-digested with shared per-connection state.
+
+    The bank computes the event bookkeeping every detector would
+    otherwise duplicate (gap-based connection-event segmentation, the
+    same heuristic a real wideband monitor uses).
+
+    Attributes:
+        frame: the raw PHY frame.
+        is_advertising: carried the advertising access address.
+        new_event: first frame of a connection event on this AA (always
+            ``True`` for advertising frames).
+        index_in_event: 0-based position within the connection event;
+            even indices are Master transmissions, odd ones Slave
+            (events strictly alternate at T_IFS).
+        gap_us: time since the previous frame ended on this AA
+            (``None`` for the first frame ever seen on the AA).
+        overlaps: earlier-started frames still on air at this frame's
+            start (any channel; detectors filter).
+        known_connection: this AA had data traffic before this frame.
+    """
+
+    frame: RadioFrame
+    is_advertising: bool
+    new_event: bool
+    index_in_event: int
+    gap_us: Optional[float]
+    overlaps: Tuple[RadioFrame, ...]
+    known_connection: bool
+
+
+class Detector:
+    """Base class of the pluggable detectors.
+
+    Subclasses set :attr:`name` (the registry key) and implement
+    :meth:`on_frame`, returning zero or more :class:`Verdict`s per
+    observed frame.  Detectors hold per-connection state themselves; the
+    shared, duplicated-by-everyone bookkeeping lives in
+    :class:`FrameView`.
+    """
+
+    #: Registry name; subclasses override.
+    name = "detector"
+
+    def on_frame(self, view: FrameView) -> List[Verdict]:
+        """Consume one frame view; return the verdicts it triggers."""
+        raise NotImplementedError
+
+    def _verdict(self, view: FrameView, score: float, kind: str,
+                 detail: str = "",
+                 access_address: Optional[int] = None) -> Verdict:
+        """Build a verdict stamped with this detector's name."""
+        aa = (view.frame.access_address if access_address is None
+              else access_address)
+        return Verdict(time_us=view.frame.start_us, detector=self.name,
+                       score=score, kind=kind, access_address=aa,
+                       detail=detail)
+
+
+@dataclass(frozen=True)
+class DetectorDef:
+    """A registered detector factory.
+
+    Attributes:
+        name: registry key (also the ``Verdict.detector`` stamp).
+        factory: zero-argument callable building a fresh detector
+            instance (per-world state must not be shared across trials).
+        description: one-liner for listings and the handbook.
+    """
+
+    name: str
+    factory: Callable[[], Detector]
+    description: str = ""
+
+
+def register_detector(defn: DetectorDef, replace: bool = False) -> None:
+    """Register a detector definition under ``defn.name``."""
+    if defn.name in DETECTORS and not replace:
+        raise ConfigurationError(
+            f"detector {defn.name!r} is already registered")
+    DETECTORS[defn.name] = defn
+
+
+def get_detector(name: str) -> DetectorDef:
+    """Look up a registered detector or fail with the known names."""
+    try:
+        return DETECTORS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown detector {name!r}; registered: "
+            f"{', '.join(detector_names())}") from None
+
+
+def detector_names() -> List[str]:
+    """All registered detector names, in registration order."""
+    return list(DETECTORS)
+
+
+def make_detectors(names: Sequence[str] = ()) -> List[Detector]:
+    """Instantiate fresh detectors by name (empty = every registered one)."""
+    wanted = list(names) if names else detector_names()
+    return [get_detector(name).factory() for name in wanted]

@@ -1,0 +1,200 @@
+"""The detector bank: one medium tap fanned out to every detector.
+
+A :class:`DetectorBank` owns the wideband tap a real SDR monitor would
+be, computes the per-frame bookkeeping every detector needs (gap-based
+connection-event segmentation, overlap tracking — the
+:class:`~repro.defense.api.FrameView`), dispatches each view to its
+detectors and accumulates their scored verdict stream.
+
+The stream is the bench's measurement: :meth:`summaries` folds it into
+per-detector max scores (the ROC statistic), alert counts, first-alert
+latency and a canonical SHA-256 digest that the differential tests
+compare bit-for-bit across simulation engines and worker counts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.defense.api import (
+    ALERT_SCORE,
+    Detector,
+    FrameView,
+    Verdict,
+    get_detector,
+    make_detectors,
+)
+from repro.ll.access_address import ADVERTISING_ACCESS_ADDRESS
+from repro.phy.signal import RadioFrame
+from repro.sim.interference import NOISE_ACCESS_ADDRESS
+from repro.sim.medium import Medium
+from repro.sim.simulator import Simulator
+
+#: Frames closer together than this on one AA belong to one event.
+_EVENT_GAP_US = 2_000.0
+
+
+def verdict_stream_digest(verdicts: Sequence[Verdict]) -> str:
+    """Canonical SHA-256 of a verdict stream.
+
+    Floats are rendered with ``repr`` (exact shortest round-trip), so
+    two streams digest equal iff they are bit-identical — the property
+    the engine/jobs differential tests assert.
+    """
+    hasher = hashlib.sha256()
+    for v in verdicts:
+        line = (f"{v.time_us!r}|{v.detector}|{v.score!r}|{v.kind}|"
+                f"{v.access_address}|{v.detail}\n")
+        hasher.update(line.encode("utf-8"))
+    return hasher.hexdigest()
+
+
+class DetectorBank:
+    """Attach a set of detectors to a medium through one shared tap.
+
+    Args:
+        sim: owning simulator (time, metrics, trace).
+        medium: the medium to tap (taps fire at every frame start, with
+            the pristine frame — what a co-located monitor receives).
+        detectors: detector registry names or ready instances; empty
+            selects every registered detector.
+    """
+
+    def __init__(self, sim: Simulator, medium: Medium,
+                 detectors: Sequence[Union[str, Detector]] = ()):
+        self.sim = sim
+        self.detectors: List[Detector] = []
+        if detectors:
+            for entry in detectors:
+                if isinstance(entry, Detector):
+                    self.detectors.append(entry)
+                else:
+                    self.detectors.append(get_detector(entry).factory())
+        else:
+            self.detectors = make_detectors()
+        #: Every verdict emitted so far, in emission order.
+        self.verdicts: List[Verdict] = []
+        #: Optional subscriber called with each new verdict.
+        self.on_verdict: Optional[Callable[[Verdict], None]] = None
+        #: Optional subscriber called with each frame view (observers
+        #: that want the shared bookkeeping without being detectors).
+        self.on_view: Optional[Callable[[FrameView], None]] = None
+        self._active: List[RadioFrame] = []
+        self._event_state: Dict[int, tuple] = {}
+        metrics = sim.metrics
+        self._metrics = metrics
+        self._m_frames = metrics.counter("defense.frames_seen")
+        self._m_verdicts = {
+            det.name: metrics.counter(f"defense.verdicts.{det.name}")
+            for det in self.detectors
+        }
+        self._m_alerts = {
+            det.name: metrics.counter(f"defense.alerts.{det.name}")
+            for det in self.detectors
+        }
+        medium.add_tap(self._on_frame)
+
+    # ------------------------------------------------------------------
+    # Tap
+    # ------------------------------------------------------------------
+
+    def _on_frame(self, frame: RadioFrame) -> None:
+        self._active = [f for f in self._active if f.end_us > frame.start_us]
+        if frame.access_address == NOISE_ACCESS_ADDRESS:
+            # Wideband interference: carrier energy a BLE monitor cannot
+            # demodulate.  It stays visible to detectors as collision
+            # overlap but never produces a decoded frame view of its own.
+            self._active.append(frame)
+            return
+        view = self._view_for(frame)
+        if not view.is_advertising and self._metrics.enabled:
+            self._m_frames.inc()
+        if self.on_view is not None:
+            self.on_view(view)
+        for detector in self.detectors:
+            for verdict in detector.on_frame(view):
+                self._record(verdict)
+        self._active.append(frame)
+
+    def _view_for(self, frame: RadioFrame) -> FrameView:
+        aa = frame.access_address
+        if aa == ADVERTISING_ACCESS_ADDRESS:
+            return FrameView(frame=frame, is_advertising=True,
+                             new_event=True, index_in_event=0, gap_us=None,
+                             overlaps=tuple(self._active),
+                             known_connection=False)
+        state = self._event_state.get(aa)
+        if state is None:
+            gap: Optional[float] = None
+            new_event, index, known = True, 0, False
+        else:
+            gap = frame.start_us - state[0]
+            new_event = gap > _EVENT_GAP_US
+            index = 0 if new_event else state[1] + 1
+            known = True
+        self._event_state[aa] = (frame.end_us, index)
+        return FrameView(frame=frame, is_advertising=False,
+                         new_event=new_event, index_in_event=index,
+                         gap_us=gap, overlaps=tuple(self._active),
+                         known_connection=known)
+
+    def _record(self, verdict: Verdict) -> None:
+        self.verdicts.append(verdict)
+        if self._metrics.enabled:
+            self._m_verdicts[verdict.detector].inc()
+            if verdict.score >= ALERT_SCORE:
+                self._m_alerts[verdict.detector].inc()
+        if verdict.score >= ALERT_SCORE and self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, "defense",
+                                  f"defense-{verdict.kind}",
+                                  detector=verdict.detector,
+                                  aa=verdict.access_address,
+                                  score=round(verdict.score, 6))
+        if self.on_verdict is not None:
+            self.on_verdict(verdict)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def verdicts_of(self, detector: str) -> List[Verdict]:
+        """The verdict stream of one detector, in emission order."""
+        return [v for v in self.verdicts if v.detector == detector]
+
+    def alerts_of(self, detector: str) -> List[Verdict]:
+        """One detector's verdicts at or above :data:`ALERT_SCORE`."""
+        return [v for v in self.verdicts_of(detector)
+                if v.score >= ALERT_SCORE]
+
+    def summaries(self, attack_start_us: Optional[float] = None
+                  ) -> Dict[str, dict]:
+        """Fold the verdict streams into per-detector summary dicts.
+
+        Args:
+            attack_start_us: when the attack began (simulated µs); fills
+                each summary's ``latency_us`` (first alert minus start).
+
+        Returns:
+            detector name → ``{"verdicts", "alerts", "max_score",
+            "first_alert_us", "latency_us", "stream_sha256"}``, in bank
+            order.  All values are plain JSON-serialisable scalars so
+            the campaign journal can carry them verbatim.
+        """
+        out: Dict[str, dict] = {}
+        for detector in self.detectors:
+            stream = self.verdicts_of(detector.name)
+            alerts = [v for v in stream if v.score >= ALERT_SCORE]
+            first_alert = alerts[0].time_us if alerts else None
+            latency = (first_alert - attack_start_us
+                       if first_alert is not None
+                       and attack_start_us is not None else None)
+            out[detector.name] = {
+                "verdicts": len(stream),
+                "alerts": len(alerts),
+                "max_score": max((v.score for v in stream), default=0.0),
+                "first_alert_us": first_alert,
+                "latency_us": latency,
+                "stream_sha256": verdict_stream_digest(stream),
+            }
+        return out

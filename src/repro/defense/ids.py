@@ -2,9 +2,13 @@
 
 The paper argues an IDS monitoring the radio activity "could be able to
 detect, at the right instant, the presence of double frames: the
-legitimate Master frame and the attacker one".  This module implements
-that detector over a wideband medium tap (the simulated equivalent of an
-SDR monitor à la RadIoT [18]):
+legitimate Master frame and the attacker one".  This module keeps that
+original boolean-alert interface as a thin wrapper over the pluggable
+detector framework (:mod:`repro.defense.api` /
+:mod:`repro.defense.bank`): a :class:`LinkLayerIds` is a
+:class:`~repro.defense.bank.DetectorBank` loaded with the three classic
+§VIII detectors, folding their scored verdict streams back into
+:class:`IdsAlert`s:
 
 * **double-frame**: two frames carrying the *same* connection access
   address overlapping in time on the same channel — the InjectaBLE
@@ -14,22 +18,25 @@ SDR monitor à la RadIoT [18]):
   injections that win the race without colliding (situation a);
 * **jamming**: repeated unknown-AA frames overlapping a known connection's
   frames — BTLEJack's signature.
+
+New code should use the bank and registry directly; this wrapper exists
+so monitoring worlds built before the framework keep working unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
+from typing import List
 
-from repro.ll.access_address import ADVERTISING_ACCESS_ADDRESS
-from repro.ll.timing import window_widening_us
-from repro.phy.signal import RadioFrame
+from repro.defense.api import ALERT_SCORE, FrameView, Verdict
+from repro.defense.bank import DetectorBank
+from repro.defense.detectors import (
+    AnchorAnomalyDetector,
+    DoubleFrameDetector,
+    JammingDetector,
+)
 from repro.sim.medium import Medium
 from repro.sim.simulator import Simulator
-from repro.utils.units import SLOT_US
-
-#: Frames closer together than this on one channel belong to one event.
-_EVENT_GAP_US = 2_000.0
 
 
 @dataclass(frozen=True)
@@ -49,21 +56,6 @@ class IdsAlert:
     detail: str = ""
 
 
-@dataclass
-class _ConnectionModel:
-    """Per-AA timing model the IDS learns online."""
-
-    last_frame_end_us: float = 0.0
-    last_anchor_us: Optional[float] = None
-    interval_estimate_us: Optional[float] = None
-    frames_in_event: int = 0
-    event_frames: list = field(default_factory=list)
-    #: Anchors left to skip while a legitimate re-timing procedure (an
-    #: observed LL_CONNECTION_UPDATE_IND) settles; the interval is
-    #: re-learned afterwards.
-    suppress_anchors: int = 0
-
-
 class LinkLayerIds:
     """Wideband monitor detecting injection and jamming signatures.
 
@@ -81,9 +73,7 @@ class LinkLayerIds:
         self.sim = sim
         self.drift_budget_ppm = drift_budget_ppm
         self.anchor_slack_us = anchor_slack_us
-        self.alerts: list[IdsAlert] = []
-        self._models: dict[int, _ConnectionModel] = {}
-        self._active: list[RadioFrame] = []
+        self.alerts: List[IdsAlert] = []
         metrics = sim.metrics
         self._metrics = metrics
         self._m_frames = metrics.counter("ids.frames_seen")
@@ -96,131 +86,50 @@ class LinkLayerIds:
         self._m_response_delay = metrics.histogram(
             "ids.response_delay_us",
             buckets=(100.0, 150.0, 200.0, 300.0, 500.0, 1_000.0, 2_000.0))
-        medium.add_tap(self._on_frame_start)
+        self.bank = DetectorBank(sim, medium, detectors=(
+            DoubleFrameDetector(),
+            AnchorAnomalyDetector(drift_budget_ppm=drift_budget_ppm,
+                                  anchor_slack_us=anchor_slack_us),
+            JammingDetector(),
+        ))
+        self.bank.on_verdict = self._on_verdict
+        self.bank.on_view = self._on_view
 
     # ------------------------------------------------------------------
-    # Tap
+    # Bank subscriptions
     # ------------------------------------------------------------------
 
-    def _on_frame_start(self, frame: RadioFrame) -> None:
-        self._active = [f for f in self._active if f.end_us > frame.start_us]
-        if frame.access_address != ADVERTISING_ACCESS_ADDRESS:
-            if self._metrics.enabled:
-                self._m_frames.inc()
-            self._check_overlaps(frame)
-            self._update_model(frame)
-        self._active.append(frame)
-
-    def _check_overlaps(self, frame: RadioFrame) -> None:
-        for other in self._active:
-            if other.channel != frame.channel:
-                continue
-            if other.end_us <= frame.start_us:
-                continue
-            if other.access_address == frame.access_address:
-                self._alert("double-frame", frame.access_address,
-                            f"two AA={frame.access_address:#010x} frames "
-                            f"overlap on channel {frame.channel}")
-            elif other.access_address == ADVERTISING_ACCESS_ADDRESS:
-                continue
-            else:
-                # Two *different* data access addresses colliding: distinct
-                # connections land on the same channel extremely rarely, so
-                # repeated cross-AA collisions are a jamming signature.
-                victim = (frame.access_address
-                          if frame.access_address in self._models
-                          else other.access_address)
-                self._alert("jamming", victim,
-                            f"cross-AA collision with AA={victim:#010x} "
-                            f"on channel {frame.channel}")
-
-    def _update_model(self, frame: RadioFrame) -> None:
-        model = self._models.setdefault(frame.access_address,
-                                        _ConnectionModel())
-        is_new_event = (frame.start_us - model.last_frame_end_us
-                        > _EVENT_GAP_US)
-        if is_new_event:
-            self._check_anchor(frame, model)
-            model.last_anchor_us = frame.start_us
-            model.frames_in_event = 1
-            self._scan_for_procedures(frame, model)
-        else:
-            model.frames_in_event += 1
-            if model.frames_in_event == 2 and self._metrics.enabled:
-                self._m_response_delay.observe(
-                    frame.start_us - model.last_frame_end_us)
-        model.last_frame_end_us = frame.end_us
-
-    def _scan_for_procedures(self, frame: RadioFrame,
-                             model: _ConnectionModel) -> None:
-        """Parse unencrypted LL control traffic for re-timing procedures.
-
-        An SDR monitor can decode plaintext control PDUs; a visible
-        LL_CONNECTION_UPDATE_IND or LL_CHANNEL_MAP_IND legitimately breaks
-        the timing model, so the IDS suppresses anchor checks while the
-        procedure settles and re-learns the interval.  (Encrypted control
-        traffic is opaque — a documented limitation shared with real
-        monitors.)
-        """
-        try:
-            from repro.ll.pdu.data import LLID, DataPdu
-
-            pdu = DataPdu.from_bytes(frame.pdu)
-        except Exception:
+    def _on_view(self, view: FrameView) -> None:
+        if view.is_advertising:
             return
-        if pdu.header.llid is not LLID.CONTROL or not pdu.payload:
-            return
-        opcode = pdu.payload[0]
-        if opcode in (0x00, 0x01):  # connection update / channel map
-            model.suppress_anchors = 80
-            model.interval_estimate_us = None
+        if self._metrics.enabled:
+            self._m_frames.inc()
+            if view.index_in_event == 1 and view.gap_us is not None:
+                self._m_response_delay.observe(view.gap_us)
 
-    def _check_anchor(self, frame: RadioFrame,
-                      model: _ConnectionModel) -> None:
-        if model.last_anchor_us is None:
+    def _on_verdict(self, verdict: Verdict) -> None:
+        if verdict.score < ALERT_SCORE:
             return
-        if model.suppress_anchors > 0:
-            model.suppress_anchors -= 1
-            return
-        delta = frame.start_us - model.last_anchor_us
-        if model.interval_estimate_us is None:
-            # Learn the interval from the first inter-anchor gap, snapped
-            # to the 1.25 ms grid.
-            slots = max(6.0, round(delta / SLOT_US))
-            model.interval_estimate_us = slots * SLOT_US
-            return
-        interval = model.interval_estimate_us
-        events = max(1, round(delta / interval))
-        expected = events * interval
-        allowance = (window_widening_us(self.drift_budget_ppm, 0.0,
-                                        expected)
-                     + self.anchor_slack_us)
-        early_by = expected - delta
-        if early_by > allowance:
-            self._alert("anchor-anomaly", frame.access_address,
-                        f"anchor {early_by:.1f} µs early "
-                        f"(allowance {allowance:.1f} µs)")
-        # Track slow drift by updating the reference interval estimate.
-        if abs(delta - expected) < allowance and events == 1:
-            model.interval_estimate_us = 0.9 * interval + 0.1 * delta
-
-    def _alert(self, kind: str, access_address: int, detail: str) -> None:
-        alert = IdsAlert(self.sim.now, kind, access_address, detail)
+        alert = IdsAlert(verdict.time_us, verdict.kind,
+                         verdict.access_address, verdict.detail)
         self.alerts.append(alert)
         if self._metrics.enabled:
-            counter = self._m_alerts.get(kind)
+            counter = self._m_alerts.get(verdict.kind)
             if counter is None:
-                counter = self._m_alerts[kind] = \
-                    self._metrics.counter(f"ids.alerts.{kind}")
+                counter = self._m_alerts[verdict.kind] = \
+                    self._metrics.counter(f"ids.alerts.{verdict.kind}")
             counter.inc()
-        self.sim.trace.record(self.sim.now, "ids", f"ids-{kind}",
-                              aa=access_address, detail=detail)
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, "ids",
+                                  f"ids-{verdict.kind}",
+                                  aa=verdict.access_address,
+                                  detail=verdict.detail)
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
 
-    def alerts_of_kind(self, kind: str) -> list[IdsAlert]:
+    def alerts_of_kind(self, kind: str) -> List[IdsAlert]:
         """All alerts of one kind."""
         return [a for a in self.alerts if a.kind == kind]
 

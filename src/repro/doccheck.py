@@ -1,8 +1,8 @@
 """Executable documentation checker (``repro doccheck``).
 
 Docs rot: CLI surface grows PR by PR and the fenced examples in
-README.md / EXPERIMENTS.md silently drift (renamed flags, removed
-subcommands, stale file paths).  This module makes the docs executable:
+README.md / EXPERIMENTS.md / docs/*.md silently drift (renamed flags,
+removed subcommands, stale file paths).  This module makes the docs executable:
 it extracts every ``repro …`` command from fenced ```bash/```console
 blocks, rewrites it with tiny smoke budgets (2 connections per
 configuration, 1-second captures), and runs it in-process against
@@ -193,9 +193,14 @@ def budget_argv(argv: Sequence[str]) -> List[str]:
 
 
 def default_doc_paths(root: Path) -> List[Path]:
-    """The markdown files checked by default: README.md, EXPERIMENTS.md."""
-    return [path for name in ("README.md", "EXPERIMENTS.md")
-            if (path := root / name).exists()]
+    """The markdown files checked by default: README.md, EXPERIMENTS.md
+    and every handbook under ``docs/`` (sorted for stable order)."""
+    paths = [path for name in ("README.md", "EXPERIMENTS.md")
+             if (path := root / name).exists()]
+    docs_dir = root / "docs"
+    if docs_dir.is_dir():
+        paths.extend(sorted(docs_dir.glob("*.md")))
+    return paths
 
 
 def find_repo_root() -> Path:

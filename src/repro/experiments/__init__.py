@@ -15,16 +15,25 @@ from repro.experiments.dense import (
     DenseTrial,
     run_experiment_occupancy,
 )
+from repro.experiments.defense import (
+    TRAFFIC_KINDS,
+    DefenseTrial,
+    run_experiment_defense,
+    summarize_defense,
+)
 
 __all__ = [
     "DISTANCE_POSITIONS",
+    "DefenseTrial",
     "DenseTrial",
     "HOP_INTERVALS",
     "InjectionTrial",
     "OCCUPANCY_LOAD_LEVELS",
     "PAYLOAD_SIZES",
+    "TRAFFIC_KINDS",
     "TrialResult",
     "WALL_DISTANCES",
+    "run_experiment_defense",
     "run_experiment_distance",
     "run_experiment_hop_interval",
     "run_experiment_occupancy",

@@ -99,6 +99,11 @@ class TrialResult:
             (dense-world trials only, see
             :mod:`repro.experiments.dense`); ``None`` for the 3-device
             panels.
+        detection: defense-bench payload (see
+            :mod:`repro.experiments.defense`): traffic kind, attack
+            outcome and the per-detector verdict summaries from
+            :meth:`repro.defense.bank.DetectorBank.summaries`; ``None``
+            for unmonitored trials.
     """
 
     success: bool
@@ -109,6 +114,7 @@ class TrialResult:
     metrics: Optional[dict] = None
     failure: Optional[str] = None
     occupancy: Optional[float] = None
+    detection: Optional[dict] = None
 
 
 def build_injection_payload(pdu_len: int, control_handle: int

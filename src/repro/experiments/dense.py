@@ -201,6 +201,51 @@ def build_dense_topology(
     return topo, pairs, wifi_names
 
 
+def populate_background(sim, medium, pairs, wifi_names,
+                        wifi_duty_cycle: float = 0.10) -> list:
+    """Create and start the ambient population of a dense world.
+
+    Background slaves advertise, their masters connect on a staggered
+    schedule, Wi-Fi interferers start bursting.  Shared by the occupancy
+    sweep and the defense bench's dense-ambient worlds; the device
+    creation order (and thus every RNG substream draw) is part of the
+    determinism contract, so callers must pass ``pairs``/``wifi_names``
+    exactly as :func:`build_dense_topology` returned them.
+
+    Returns:
+        the background :class:`~repro.ll.master.MasterLinkLayer`\\ s.
+    """
+    from repro.ll.master import MasterLinkLayer
+    from repro.ll.pdu.address import BdAddress
+    from repro.ll.slave import SlaveLinkLayer
+    from repro.sim.interference import WifiInterferer
+
+    bg_masters = []
+    for i, (m_name, s_name) in enumerate(pairs):
+        bg_slave = SlaveLinkLayer(
+            sim, medium, s_name,
+            BdAddress.generate(sim.streams.get(f"addr-{s_name}")),
+            # Staggered advertising intervals: simultaneous ADV_INDs on the
+            # same channel would otherwise collide every event.
+            adv_interval_ms=40.0 + 7.0 * i,
+        )
+        bg_master = MasterLinkLayer(
+            sim, medium, m_name,
+            BdAddress.generate(sim.streams.get(f"addr-{m_name}")),
+            interval=BG_INTERVALS[i % len(BG_INTERVALS)], timeout=300,
+        )
+        bg_slave.start_advertising()
+        sim.schedule_at(
+            ESTABLISH_STAGGER_US * (i + 1),
+            lambda m=bg_master, s=bg_slave: m.connect(s.address),
+            "dense-bg-connect")
+        bg_masters.append(bg_master)
+    for name in wifi_names:
+        WifiInterferer(sim, medium, name,
+                       duty_cycle=wifi_duty_cycle).start()
+    return bg_masters
+
+
 def run_dense_trial(trial: DenseTrial) -> TrialResult:
     """Run one dense-world trial (the campaign runner for ``DenseTrial``)."""
     result, _sim = run_dense_trial_world(trial)
@@ -225,9 +270,7 @@ def run_dense_trial_world(
     from repro.devices.lightbulb import Lightbulb
     from repro.ll.master import MasterLinkLayer
     from repro.ll.pdu.address import BdAddress
-    from repro.ll.slave import SlaveLinkLayer
     from repro.sim.fastforward import install_engine
-    from repro.sim.interference import WifiInterferer
     from repro.sim.medium import Medium
 
     sim = Simulator(seed=trial.seed, trace_enabled=trace_enabled,
@@ -240,29 +283,8 @@ def run_dense_trial_world(
     meter = _AirtimeMeter()
     medium.add_tap(meter)
 
-    bg_masters = []
-    for i, (m_name, s_name) in enumerate(pairs):
-        bg_slave = SlaveLinkLayer(
-            sim, medium, s_name,
-            BdAddress.generate(sim.streams.get(f"addr-{s_name}")),
-            # Staggered advertising intervals: simultaneous ADV_INDs on the
-            # same channel would otherwise collide every event.
-            adv_interval_ms=40.0 + 7.0 * i,
-        )
-        bg_master = MasterLinkLayer(
-            sim, medium, m_name,
-            BdAddress.generate(sim.streams.get(f"addr-{m_name}")),
-            interval=BG_INTERVALS[i % len(BG_INTERVALS)], timeout=300,
-        )
-        bg_slave.start_advertising()
-        sim.schedule_at(
-            ESTABLISH_STAGGER_US * (i + 1),
-            lambda m=bg_master, s=bg_slave: m.connect(s.address),
-            "dense-bg-connect")
-        bg_masters.append(bg_master)
-    for name in wifi_names:
-        WifiInterferer(sim, medium, name,
-                       duty_cycle=trial.wifi_duty_cycle).start()
+    bg_masters = populate_background(sim, medium, pairs, wifi_names,
+                                     wifi_duty_cycle=trial.wifi_duty_cycle)
 
     establish_us = (ESTABLISH_SETTLE_US
                     + ESTABLISH_STAGGER_US * trial.connections)

@@ -38,22 +38,27 @@ DEVICES = {
 
 
 def build_world(device_cls, seed: int, world_hook: Optional[Callable] = None,
-                engine: Optional[str] = None, trace_enabled: bool = False):
+                engine: Optional[str] = None, trace_enabled: bool = False,
+                metrics_enabled: bool = False):
     """Victim + phone + synchronised attacker, connection established.
 
     ``world_hook(sim, medium)``, if given, runs before any device exists —
     the spot to attach observers such as a
-    :class:`~repro.telemetry.capture.FrameRecorder` so they see the whole
+    :class:`~repro.telemetry.capture.FrameRecorder` or a
+    :class:`~repro.defense.bank.DetectorBank` so they see the whole
     exchange from the first advertisement (and thus learn the CONNECT_REQ's
     CRCInit for CRC validation).
 
     ``engine`` selects the simulation engine (see
     :func:`repro.sim.fastforward.resolve_engine`); ``trace_enabled`` turns
-    on full trace recording for differential comparisons.
+    on full trace recording for differential comparisons;
+    ``metrics_enabled`` runs the world instrumented (defense bench trials
+    ship the snapshot back in their results).
     """
     from repro.sim.fastforward import install_engine
 
-    sim = Simulator(seed=seed, trace_enabled=trace_enabled)
+    sim = Simulator(seed=seed, trace_enabled=trace_enabled,
+                    metrics_enabled=metrics_enabled)
     topo = Topology.equilateral_triangle(("victim", "phone", "attacker"))
     medium = Medium(sim, topo)
     if world_hook is not None:

@@ -18,8 +18,11 @@ from repro.sim.medium import Medium
 from repro.sim.simulator import Simulator
 from repro.sim.transceiver import Transceiver
 
-#: A junk access address for interference bursts.
-_NOISE_AA = 0x55AA55AA
+#: The junk access address interference bursts are addressed under.  A
+#: BLE receiver cannot demodulate such a carrier — observers that model
+#: a BLE monitor (e.g. the defense bench's detector bank) treat frames
+#: with this AA as channel energy, never as decodable PDUs.
+NOISE_ACCESS_ADDRESS = 0x55AA55AA
 
 
 class WifiInterferer:
@@ -90,7 +93,8 @@ class WifiInterferer:
             # (8 µs per byte at LE 1M equivalence).
             pdu_len = min(250, max(1, int(length_us / 8.0) - 8))
             channel = int(self._rng.choice(self.channels))
-            self.radio.transmit(_NOISE_AA, bytes(pdu_len), 0, channel)
+            self.radio.transmit(NOISE_ACCESS_ADDRESS, bytes(pdu_len), 0,
+                                channel)
             self.bursts_sent += 1
         self._schedule_next()
 

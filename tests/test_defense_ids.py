@@ -1,4 +1,10 @@
-"""Tests for the link-layer IDS and the §VIII countermeasures."""
+"""Tests for the link-layer IDS wrapper and the §VIII countermeasures.
+
+The boolean-alert `LinkLayerIds` is now a thin wrapper over the
+pluggable detector framework (`repro.defense.api` / `bank`); the
+framework itself is tested in `test_defense_framework.py`.  These
+tests keep the original monitoring contract — and assert the wrapper
+really is backed by the registry detectors."""
 
 import pytest
 
@@ -67,6 +73,26 @@ class TestIdsAgainstInjection:
         aa = phone.ll.conn.params.access_address if phone.ll.conn else None
         # Alerts reference the victim connection's access address.
         assert any(a.access_address == aa for a in alerts) or aa is None
+
+
+class TestIdsIsBankBacked:
+    def test_wrapper_loads_the_classic_detectors(self):
+        sim, medium, ids, *_ = build_monitored_world(seed=96)
+        assert [d.name for d in ids.bank.detectors] == [
+            "double-frame", "anchor-anomaly", "jamming"]
+
+    def test_alerts_mirror_the_banks_alert_verdicts(self):
+        from repro.defense import ALERT_SCORE
+
+        sim, medium, ids, bulb, phone, attacker = build_monitored_world(
+            seed=95)
+        run_injection(sim, bulb, phone, attacker)
+        bank_alerts = [v for v in ids.bank.verdicts
+                       if v.score >= ALERT_SCORE]
+        assert bank_alerts
+        assert [(v.time_us, v.kind, v.access_address)
+                for v in bank_alerts] == \
+            [(a.time_us, a.kind, a.access_address) for a in ids.alerts]
 
 
 class TestIdsAgainstJamming:

@@ -197,7 +197,25 @@ class TestRealDocs:
 
     def test_default_paths_exist(self):
         paths = default_doc_paths(REPO_ROOT)
-        assert [p.name for p in paths] == ["README.md", "EXPERIMENTS.md"]
+        assert [p.name for p in paths] == [
+            "README.md", "EXPERIMENTS.md", "ARCHITECTURE.md", "DEFENSE.md"]
+        assert all(p.exists() for p in paths)
+
+    def test_docs_dir_is_scanned_sorted(self, tmp_path):
+        (tmp_path / "README.md").write_text("hi\n")
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "ZEBRA.md").write_text("z\n")
+        (docs / "ALPHA.md").write_text("a\n")
+        (docs / "notes.txt").write_text("not markdown\n")
+        paths = default_doc_paths(tmp_path)
+        assert [p.name for p in paths] == [
+            "README.md", "ALPHA.md", "ZEBRA.md"]
+
+    def test_defense_handbook_examples_are_extracted(self):
+        commands = extract_commands(REPO_ROOT / "docs" / "DEFENSE.md")
+        assert any(c.argv[1:3] == ("experiment", "defense")
+                   for c in commands)
 
     def test_readme_examples_are_extracted(self):
         commands = extract_commands(REPO_ROOT / "README.md")
